@@ -1,0 +1,69 @@
+// Ablation over the gate-duration spread (the maQAM's configurable τ):
+// sweeps the 2-qubit/1-qubit duration ratio and runs the Table I
+// technology presets, reporting CODAR-vs-SABRE speedup on a 4x4 lattice.
+// Expected shape: duration awareness pays more as the spread grows
+// (superconducting ~2x, ion trap ~12x); with uniform durations the gap
+// narrows to pure context/commutativity gains.
+
+#include <cmath>
+#include <iostream>
+
+#include "codar/common/table.hpp"
+#include "codar/workloads/generators.hpp"
+#include "support/harness.hpp"
+
+namespace {
+
+using namespace codar;
+
+double geomean_speedup(const std::vector<ir::Circuit>& circuits,
+                       const arch::Device& dev) {
+  double log_sum = 0.0;
+  for (const ir::Circuit& c : circuits) {
+    log_sum += std::log(bench::compare_routers(c, dev).speedup());
+    std::cerr << "." << std::flush;
+  }
+  return std::exp(log_sum / static_cast<double>(circuits.size()));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation - duration-ratio sweep (grid 4x4)");
+
+  const std::vector<ir::Circuit> circuits = {
+      workloads::qft(10),
+      workloads::bernstein_vazirani(12, 0xFFF),
+      workloads::draper_adder(6),
+      workloads::qaoa_maxcut(12, 2, 3),
+      workloads::random_circuit(14, 1200, 0.5, 5),
+  };
+
+  Table sweep({"2q/1q duration ratio", "SWAP cycles", "geomean speedup"});
+  for (const int ratio : {1, 2, 3, 4, 8, 12}) {
+    arch::DurationMap durations;
+    durations.set_all_two_qubit(ratio);
+    durations.set(ir::GateKind::kSwap, 3 * ratio);
+    const arch::Device dev = arch::grid(4, 4, durations);
+    sweep.add_row({std::to_string(ratio), std::to_string(3 * ratio),
+                   fmt_fixed(geomean_speedup(circuits, dev), 3)});
+  }
+  std::cerr << "\n";
+  sweep.print(std::cout);
+
+  std::cout << "\n--- Technology presets (Table I) ---\n\n";
+  Table presets({"technology preset", "geomean speedup"});
+  const std::pair<const char*, arch::DurationMap> techs[] = {
+      {"superconducting (1q=1, 2q=2)", arch::DurationMap::superconducting()},
+      {"ion trap (1q=1, 2q=12)", arch::DurationMap::ion_trap()},
+      {"neutral atom (1q=2, 2q=1)", arch::DurationMap::neutral_atom()},
+      {"uniform (all 1)", arch::DurationMap::uniform()},
+  };
+  for (const auto& [name, durations] : techs) {
+    const arch::Device dev = arch::grid(4, 4, durations);
+    presets.add_row({name, fmt_fixed(geomean_speedup(circuits, dev), 3)});
+  }
+  std::cerr << "\n";
+  presets.print(std::cout);
+  return 0;
+}

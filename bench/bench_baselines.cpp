@@ -1,0 +1,86 @@
+// Three-way baseline comparison: CODAR vs SABRE (Li et al.) vs the
+// A*-layered mapper (Zulehner et al.) — the two heuristic families the
+// paper's related-work section positions CODAR against. All three share
+// one SABRE reverse-traversal initial mapping; the metric is the paper's
+// duration-weighted depth plus SWAP counts and compile time.
+
+#include <chrono>
+#include <cmath>
+#include <iostream>
+
+#include "codar/astar/astar_router.hpp"
+#include "codar/common/table.hpp"
+#include "codar/workloads/suite.hpp"
+#include "support/harness.hpp"
+
+int main() {
+  using namespace codar;
+  using Clock = std::chrono::steady_clock;
+  bench::print_header(
+      "Baselines - CODAR vs SABRE vs A*-layers (IBM Q20 Tokyo)");
+
+  const arch::Device dev = arch::ibm_q20_tokyo();
+  const sabre::SabreRouter sabre(dev);
+  const core::CodarRouter codar(dev);
+  const astar::AstarRouter astar_router(dev);
+
+  Table table({"benchmark", "depth CODAR", "depth SABRE", "depth A*",
+               "swaps C/S/A", "speedup vs SABRE", "speedup vs A*"});
+  double log_vs_sabre = 0.0, log_vs_astar = 0.0;
+  std::int64_t ms_codar = 0, ms_sabre = 0, ms_astar = 0;
+  int count = 0;
+
+  for (const workloads::BenchmarkSpec& spec : workloads::benchmark_suite()) {
+    if (spec.circuit.num_qubits() > 20) continue;
+    if (spec.circuit.size() > 2000 || spec.circuit.size() < 20) continue;
+    const layout::Layout initial = sabre.initial_mapping(spec.circuit, 2, 17);
+
+    auto timed = [&](auto&& router, std::int64_t& ms_total) {
+      const auto t0 = Clock::now();
+      auto result = router.route(spec.circuit, initial);
+      const auto t1 = Clock::now();
+      ms_total += std::chrono::duration_cast<std::chrono::milliseconds>(
+                      t1 - t0)
+                      .count();
+      const auto check =
+          core::verify_routing(spec.circuit, result, dev.graph);
+      if (!check.valid) throw std::runtime_error(check.reason);
+      return result;
+    };
+    const auto r_codar = timed(codar, ms_codar);
+    const auto r_sabre = timed(sabre, ms_sabre);
+    const auto r_astar = timed(astar_router, ms_astar);
+
+    const auto d_codar =
+        schedule::weighted_depth(r_codar.circuit, dev.durations);
+    const auto d_sabre =
+        schedule::weighted_depth(r_sabre.circuit, dev.durations);
+    const auto d_astar =
+        schedule::weighted_depth(r_astar.circuit, dev.durations);
+    const double s_sabre =
+        static_cast<double>(d_sabre) / static_cast<double>(d_codar);
+    const double s_astar =
+        static_cast<double>(d_astar) / static_cast<double>(d_codar);
+    table.add_row({spec.name, std::to_string(d_codar),
+                   std::to_string(d_sabre), std::to_string(d_astar),
+                   std::to_string(r_codar.stats.swaps_inserted) + "/" +
+                       std::to_string(r_sabre.stats.swaps_inserted) + "/" +
+                       std::to_string(r_astar.stats.swaps_inserted),
+                   fmt_fixed(s_sabre, 3), fmt_fixed(s_astar, 3)});
+    log_vs_sabre += std::log(s_sabre);
+    log_vs_astar += std::log(s_astar);
+    ++count;
+    std::cerr << "." << std::flush;
+  }
+  std::cerr << "\n";
+  table.print(std::cout);
+
+  std::cout << "\nbenchmarks: " << count
+            << "\ngeomean speedup vs SABRE:     "
+            << fmt_fixed(std::exp(log_vs_sabre / count), 3)
+            << "\ngeomean speedup vs A*-layers: "
+            << fmt_fixed(std::exp(log_vs_astar / count), 3)
+            << "\ntotal compile time: CODAR " << ms_codar << " ms, SABRE "
+            << ms_sabre << " ms, A* " << ms_astar << " ms\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Router runtime scaling (google-benchmark): compilation time of CODAR and
+// SABRE versus circuit size and device size, plus the cost of the two hot
+// primitives (CF extraction, BFS all-pairs distances). The paper claims
+// heuristic routers scale to large circuits; this harness quantifies ours.
+
+#include <benchmark/benchmark.h>
+
+#include "codar/arch/device.hpp"
+#include "codar/core/codar_router.hpp"
+#include "codar/core/commutativity.hpp"
+#include "codar/sabre/sabre_router.hpp"
+#include "codar/workloads/generators.hpp"
+
+namespace {
+
+using namespace codar;
+
+void BM_CodarRouteRandom(benchmark::State& state) {
+  const int gates = static_cast<int>(state.range(0));
+  const arch::Device dev = arch::ibm_q20_tokyo();
+  const ir::Circuit c = workloads::random_circuit(16, gates, 0.5, 7);
+  const core::CodarRouter router(dev);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.route(c));
+  }
+  state.SetItemsProcessed(state.iterations() * gates);
+}
+BENCHMARK(BM_CodarRouteRandom)->Arg(250)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_SabreRouteRandom(benchmark::State& state) {
+  const int gates = static_cast<int>(state.range(0));
+  const arch::Device dev = arch::ibm_q20_tokyo();
+  const ir::Circuit c = workloads::random_circuit(16, gates, 0.5, 7);
+  const sabre::SabreRouter router(dev);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.route(c));
+  }
+  state.SetItemsProcessed(state.iterations() * gates);
+}
+BENCHMARK(BM_SabreRouteRandom)->Arg(250)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_CodarRouteQft(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const arch::Device dev = arch::google_sycamore54();
+  const ir::Circuit c = workloads::qft(n);
+  const core::CodarRouter router(dev);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.route(c));
+  }
+}
+BENCHMARK(BM_CodarRouteQft)->Arg(8)->Arg(16)->Arg(32)->Arg(54);
+
+void BM_CodarDeviceSizeSweep(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const arch::Device dev = arch::grid(side, side);
+  const ir::Circuit c =
+      workloads::random_circuit(side * side, 2000, 0.5, 13);
+  const core::CodarRouter router(dev);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.route(c));
+  }
+}
+BENCHMARK(BM_CodarDeviceSizeSweep)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_CommutativeFront(benchmark::State& state) {
+  const ir::Circuit c = workloads::qft(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::commutative_front(c, 150));
+  }
+}
+BENCHMARK(BM_CommutativeFront)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_DistanceMatrix(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const arch::Device dev = arch::grid(side, side);
+    benchmark::DoNotOptimize(dev.graph.distance(0, side * side - 1));
+  }
+}
+BENCHMARK(BM_DistanceMatrix)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_SabreInitialMapping(benchmark::State& state) {
+  const arch::Device dev = arch::ibm_q20_tokyo();
+  const ir::Circuit c =
+      workloads::random_circuit(16, static_cast<int>(state.range(0)), 0.5, 3);
+  const sabre::SabreRouter router(dev);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.initial_mapping(c, 2, 17));
+  }
+}
+BENCHMARK(BM_SabreInitialMapping)->Arg(500)->Arg(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

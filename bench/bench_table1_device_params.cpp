@@ -1,0 +1,62 @@
+// Reprints Table I: the survey of NISQ device parameters (available gates,
+// fidelities, gate times, coherence times) that motivates the maQAM's
+// configurable gate-duration map, plus the duration presets each
+// technology induces and the coupling summaries of the modeled devices.
+
+#include <iostream>
+
+#include "codar/arch/device.hpp"
+#include "codar/arch/device_parameters.hpp"
+#include "codar/common/table.hpp"
+
+int main() {
+  using namespace codar;
+  using arch::DurationMap;
+  using ir::GateKind;
+
+  std::cout << "\n=== Table I - parameter survey of quantum computing "
+               "devices ===\n\n";
+  Table survey({"device", "technology", "1q gates", "2q gates", "F(1q)",
+                "F(2q)", "F(readout)", "t(1q) us", "t(2q) us", "T1 us",
+                "T2 us", "2q/1q cycles"});
+  for (const arch::DeviceParameters& p : arch::table1_parameters()) {
+    auto time_str = [](double v) {
+      return v < 0 ? std::string("~inf") : fmt_fixed(v, 2);
+    };
+    survey.add_row({p.device, p.technology, p.one_qubit_gates,
+                    p.two_qubit_gates, fmt_fixed(p.fidelity_1q, 4),
+                    fmt_fixed(p.fidelity_2q, 3),
+                    fmt_fixed(p.fidelity_readout, 3), fmt_fixed(p.time_1q_us, 2),
+                    fmt_fixed(p.time_2q_us, 2), time_str(p.t1_us),
+                    time_str(p.t2_us),
+                    std::to_string(arch::duration_ratio_cycles(p))});
+  }
+  survey.print(std::cout);
+
+  std::cout << "\n--- Induced gate-duration presets (cycles) ---\n\n";
+  Table presets({"preset", "1q", "2q", "SWAP", "measure"});
+  const std::pair<const char*, DurationMap> maps[] = {
+      {"superconducting", DurationMap::superconducting()},
+      {"ion trap", DurationMap::ion_trap()},
+      {"neutral atom", DurationMap::neutral_atom()},
+      {"uniform (ablation)", DurationMap::uniform()},
+  };
+  for (const auto& [name, m] : maps) {
+    presets.add_row({name, std::to_string(m.of(GateKind::kH)),
+                     std::to_string(m.of(GateKind::kCX)),
+                     std::to_string(m.of(GateKind::kSwap)),
+                     std::to_string(m.of(GateKind::kMeasure))});
+  }
+  presets.print(std::cout);
+
+  std::cout << "\n--- Modeled coupling architectures ---\n\n";
+  Table archs({"architecture", "qubits", "edges", "connected", "lattice"});
+  for (const arch::Device& d : arch::paper_architectures()) {
+    archs.add_row({d.name, std::to_string(d.graph.num_qubits()),
+                   std::to_string(d.graph.num_edges()),
+                   d.graph.is_fully_connected() ? "yes" : "no",
+                   d.graph.has_coordinates() ? "yes" : "no"});
+  }
+  archs.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,74 @@
+#pragma once
+
+// Shared plumbing for the figure/table reproduction binaries: route a
+// benchmark with both routers from one shared SABRE-style initial mapping
+// (the paper's protocol) and report duration-weighted depths.
+
+#include <iostream>
+#include <string>
+
+#include "codar/arch/device.hpp"
+#include "codar/core/codar_router.hpp"
+#include "codar/core/verify.hpp"
+#include "codar/sabre/sabre_router.hpp"
+#include "codar/schedule/scheduler.hpp"
+
+namespace codar::bench {
+
+/// Weighted depths of one benchmark under both routers plus bookkeeping.
+struct Comparison {
+  arch::Duration depth_codar = 0;
+  arch::Duration depth_sabre = 0;
+  std::size_t swaps_codar = 0;
+  std::size_t swaps_sabre = 0;
+
+  double speedup() const {
+    return depth_codar == 0
+               ? 1.0
+               : static_cast<double>(depth_sabre) /
+                     static_cast<double>(depth_codar);
+  }
+};
+
+/// Routes `circuit` on `device` with CODAR and SABRE from one shared
+/// reverse-traversal initial mapping (seeded deterministically), verifies
+/// both results when the circuit is small enough for the structural check
+/// to be cheap, and returns the weighted depths.
+inline Comparison compare_routers(
+    const ir::Circuit& circuit, const arch::Device& device,
+    const core::CodarConfig& codar_config = {},
+    int initial_mapping_rounds = 2, std::uint64_t seed = 17,
+    std::size_t verify_gate_limit = 12000) {
+  const sabre::SabreRouter sabre(device);
+  const core::CodarRouter codar(device, codar_config);
+  const layout::Layout initial =
+      sabre.initial_mapping(circuit, initial_mapping_rounds, seed);
+
+  const core::RoutingResult r_codar = codar.route(circuit, initial);
+  const core::RoutingResult r_sabre = sabre.route(circuit, initial);
+
+  if (circuit.size() <= verify_gate_limit) {
+    const auto v1 = core::verify_routing(circuit, r_codar, device.graph);
+    const auto v2 = core::verify_routing(circuit, r_sabre, device.graph);
+    if (!v1.valid || !v2.valid) {
+      throw std::runtime_error("routing verification failed on " +
+                               circuit.name() + ": " +
+                               (v1.valid ? v2.reason : v1.reason));
+    }
+  }
+
+  Comparison cmp;
+  cmp.depth_codar =
+      schedule::weighted_depth(r_codar.circuit, device.durations);
+  cmp.depth_sabre =
+      schedule::weighted_depth(r_sabre.circuit, device.durations);
+  cmp.swaps_codar = r_codar.stats.swaps_inserted;
+  cmp.swaps_sabre = r_sabre.stats.swaps_inserted;
+  return cmp;
+}
+
+inline void print_header(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n\n";
+}
+
+}  // namespace codar::bench

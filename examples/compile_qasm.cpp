@@ -1,0 +1,126 @@
+// OpenQASM compiler driver: parse a .qasm file, lower Toffolis, route onto
+// a named architecture with CODAR (or SABRE), and print the routed QASM
+// with compilation statistics.
+//
+//   $ ./compile_qasm [file.qasm] [q16|q20|6x6|sycamore|q5] [--sabre]
+//                     [--no-opt]
+//
+// With no arguments a built-in sample program is compiled onto IBM Q20.
+// A peephole cleanup (cancellations + rotation fusion) runs before
+// routing unless --no-opt is given.
+
+#include <iostream>
+#include <string>
+
+#include "codar/arch/device.hpp"
+#include "codar/core/codar_router.hpp"
+#include "codar/core/verify.hpp"
+#include "codar/ir/decompose.hpp"
+#include "codar/ir/peephole.hpp"
+#include "codar/qasm/parser.hpp"
+#include "codar/qasm/writer.hpp"
+#include "codar/sabre/sabre_router.hpp"
+#include "codar/schedule/scheduler.hpp"
+
+namespace {
+
+constexpr const char* kSample = R"(OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[5];
+creg c[5];
+gate majority a,b,d { cx d,b; cx d,a; ccx a,b,d; }
+gate unmaj a,b,d { ccx a,b,d; cx d,a; cx a,b; }
+// 2-bit Cuccaro adder written with user-defined gates.
+x q[1];
+x q[3];
+majority q[0],q[1],q[2];
+majority q[2],q[3],q[4];
+cx q[4],q[0];
+unmaj q[2],q[3],q[4];
+unmaj q[0],q[1],q[2];
+measure q -> c;
+)";
+
+codar::arch::Device pick_device(const std::string& name) {
+  using namespace codar::arch;
+  if (name == "q16") return ibm_q16();
+  if (name == "q20") return ibm_q20_tokyo();
+  if (name == "6x6") return enfield_6x6();
+  if (name == "sycamore") return google_sycamore54();
+  if (name == "q5") return ibm_q5_yorktown();
+  throw std::runtime_error("unknown device '" + name +
+                           "' (try q16, q20, 6x6, sycamore, q5)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace codar;
+  try {
+    std::string device_name = "q20";
+    bool use_sabre = false;
+    bool optimize = true;
+    std::string path;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--sabre") {
+        use_sabre = true;
+      } else if (arg == "--no-opt") {
+        optimize = false;
+      } else if (arg == "q16" || arg == "q20" || arg == "6x6" ||
+                 arg == "sycamore" || arg == "q5") {
+        device_name = arg;
+      } else {
+        path = arg;
+      }
+    }
+
+    const ir::Circuit parsed =
+        path.empty() ? qasm::parse(kSample, "sample_adder")
+                     : qasm::parse_file(path);
+    ir::Circuit lowered = ir::decompose_toffoli(parsed);
+    ir::PeepholeStats peephole_stats;
+    if (optimize) {
+      lowered = ir::peephole_optimize(lowered, &peephole_stats);
+    }
+    const arch::Device device = pick_device(device_name);
+    if (lowered.num_qubits() > device.graph.num_qubits()) {
+      std::cerr << "circuit needs " << lowered.num_qubits()
+                << " qubits but " << device.name << " has only "
+                << device.graph.num_qubits() << "\n";
+      return 1;
+    }
+
+    const sabre::SabreRouter sabre(device);
+    const layout::Layout initial = sabre.initial_mapping(lowered, 2, 17);
+    const core::RoutingResult result =
+        use_sabre ? sabre.route(lowered, initial)
+                  : core::CodarRouter(device).route(lowered, initial);
+
+    const core::VerifyOutcome check =
+        core::verify_routing(lowered, result, device.graph);
+    if (!check.valid) {
+      std::cerr << "internal error, routing failed verification: "
+                << check.reason << "\n";
+      return 1;
+    }
+
+    std::cerr << "router:          " << (use_sabre ? "SABRE" : "CODAR")
+              << "\n"
+              << "device:          " << device.name << "\n"
+              << "input gates:     " << parsed.size() << " ("
+              << lowered.size() << " after lowering"
+              << (optimize ? " + peephole" : "") << ")\n"
+              << "peephole:        " << peephole_stats.gates_removed
+              << " removed, " << peephole_stats.gates_fused << " fused\n"
+              << "SWAPs inserted:  " << result.stats.swaps_inserted << "\n"
+              << "weighted depth:  "
+              << schedule::weighted_depth(result.circuit, device.durations)
+              << " cycles\n";
+    std::cout << qasm::to_qasm(result.circuit);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

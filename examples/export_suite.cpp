@@ -1,0 +1,43 @@
+// Suite export tool: writes the full 71-benchmark evaluation suite as
+// OpenQASM 2.0 files, so the workloads can be fed to external compilers
+// (Qiskit, tket, ...) for independent comparison.
+//
+//   $ ./export_suite [output_dir]    (default ./suite_qasm)
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "codar/qasm/writer.hpp"
+#include "codar/workloads/suite.hpp"
+
+int main(int argc, char** argv) {
+  using namespace codar;
+  const std::filesystem::path dir =
+      argc > 1 ? std::filesystem::path(argv[1]) : "suite_qasm";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::cerr << "cannot create " << dir << ": " << ec.message() << "\n";
+    return 1;
+  }
+
+  std::size_t files = 0;
+  std::size_t total_gates = 0;
+  for (const workloads::BenchmarkSpec& spec : workloads::benchmark_suite()) {
+    const std::filesystem::path path = dir / (spec.name + ".qasm");
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot write " << path << "\n";
+      return 1;
+    }
+    out << "// " << spec.name << ": " << spec.circuit.num_qubits()
+        << " qubits, " << spec.circuit.size() << " gates\n";
+    out << qasm::to_qasm(spec.circuit);
+    ++files;
+    total_gates += spec.circuit.size();
+  }
+  std::cout << "wrote " << files << " benchmarks (" << total_gates
+            << " gates total) to " << dir << "/\n";
+  return 0;
+}

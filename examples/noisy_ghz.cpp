@@ -1,0 +1,55 @@
+// Noise-aware scenario: prepare a GHZ state on a 3x3 lattice, route it,
+// and simulate the routed circuit under dephasing noise with both the
+// exact density-matrix backend and Monte-Carlo trajectories — showing why
+// shorter schedules keep fidelity (the paper's Fig. 9 mechanism).
+//
+//   $ ./noisy_ghz
+
+#include <iostream>
+
+#include "codar/arch/device.hpp"
+#include "codar/core/codar_router.hpp"
+#include "codar/sabre/sabre_router.hpp"
+#include "codar/schedule/scheduler.hpp"
+#include "codar/sim/noisy_simulator.hpp"
+#include "codar/workloads/generators.hpp"
+
+int main() {
+  using namespace codar;
+
+  const arch::Device device = arch::grid(3, 3);
+  const int n_phys = device.graph.num_qubits();
+  // A GHZ star: every CX fans out from qubit 0, so routing matters even
+  // for this textbook state.
+  ir::Circuit circuit(6, "ghz_star6");
+  circuit.h(0);
+  for (ir::Qubit q = 1; q < 6; ++q) circuit.cx(0, q);
+
+  const sabre::SabreRouter sabre(device);
+  const layout::Layout initial = sabre.initial_mapping(circuit, 2, 11);
+  const core::RoutingResult r_codar =
+      core::CodarRouter(device).route(circuit, initial);
+  const core::RoutingResult r_sabre = sabre.route(circuit, initial);
+
+  const sim::NoiseParams noise = sim::NoiseParams::dephasing_dominant(300.0);
+
+  std::cout << "device: " << device.name << ", noise: dephasing T2 = 300 "
+            << "cycles\n\n";
+  for (const auto& [name, result] :
+       {std::pair<const char*, const core::RoutingResult&>{"CODAR", r_codar},
+        {"SABRE", r_sabre}}) {
+    const auto depth =
+        schedule::weighted_depth(result.circuit, device.durations);
+    const double f_exact = sim::noisy_fidelity_density(
+        result.circuit, n_phys, device.durations, noise);
+    const double f_mc = sim::noisy_fidelity_trajectories(
+        result.circuit, n_phys, device.durations, noise, 400, 2024);
+    std::cout << name << ": weighted depth " << depth << ", swaps "
+              << result.stats.swaps_inserted << "\n"
+              << "  fidelity (density matrix, exact):     " << f_exact << "\n"
+              << "  fidelity (400 MC trajectories):       " << f_mc << "\n";
+  }
+  std::cout << "\nThe shorter schedule accumulates less dephasing: fidelity "
+               "tracks weighted depth, which is what CODAR minimizes.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// maQAM multi-architecture demo: one workload routed under the three
+// technology duration profiles of Table I (superconducting, ion trap,
+// neutral atom) on the same coupling graph, with ASCII timelines showing
+// how the gate-duration map reshapes the schedule CODAR builds.
+//
+//   $ ./technology_comparison
+
+#include <iostream>
+
+#include "codar/arch/device.hpp"
+#include "codar/arch/extra_devices.hpp"
+#include "codar/core/codar_router.hpp"
+#include "codar/schedule/timeline.hpp"
+#include "codar/workloads/generators.hpp"
+
+int main() {
+  using namespace codar;
+
+  const ir::Circuit circuit = workloads::qft(6);
+  std::cout << "workload: " << circuit.name() << " (" << circuit.size()
+            << " gates)\ncoupling: 3x3 lattice\n";
+
+  const std::pair<const char*, arch::DurationMap> technologies[] = {
+      {"superconducting (1q=1, 2q=2, SWAP=6)",
+       arch::DurationMap::superconducting()},
+      {"ion trap (1q=1, 2q=12, SWAP=36)", arch::DurationMap::ion_trap()},
+      {"neutral atom (1q=2, 2q=1, SWAP=3)",
+       arch::DurationMap::neutral_atom()},
+  };
+
+  for (const auto& [name, durations] : technologies) {
+    const arch::Device device = arch::grid(3, 3, durations);
+    const core::CodarRouter router(device);
+    const core::RoutingResult result = router.route(circuit);
+    const schedule::TimelineStats stats =
+        schedule::analyze_timeline(result.circuit, durations);
+
+    std::cout << "\n=== " << name << " ===\n";
+    std::cout << "weighted depth " << stats.makespan << " cycles, "
+              << result.stats.swaps_inserted << " SWAPs, mean parallelism "
+              << stats.mean_parallelism << ", qubit utilization "
+              << stats.qubit_utilization << "\n";
+    std::cout << schedule::render_timeline(result.circuit, durations, 100);
+  }
+
+  std::cout << "\nAll-to-all ion trap for contrast (routing disappears, the "
+               "slow 2-qubit gates dominate):\n";
+  const arch::Device trap = arch::ion_trap_all_to_all(6);
+  const core::RoutingResult result = core::CodarRouter(trap).route(circuit);
+  std::cout << "SWAPs: " << result.stats.swaps_inserted
+            << ", weighted depth: "
+            << schedule::weighted_depth(result.circuit, trap.durations)
+            << " cycles\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+#pragma once
+
+// The maQAM static structure M = (Q_H, E_H): an undirected coupling graph
+// over physical qubits, with the all-pairs shortest-path map D the paper's
+// heuristic needs, plus optional 2-D lattice coordinates that enable the
+// fine priority H_fine.
+
+#include <utility>
+#include <vector>
+
+#include "codar/ir/gate.hpp"
+
+namespace codar::arch {
+
+using ir::Qubit;
+
+/// Distance value for disconnected qubit pairs. Large but safely summable
+/// (the basic heuristic adds distances over the whole CF set).
+inline constexpr int kInfDistance = 1 << 28;
+
+/// Row/column position of a qubit on a 2-D lattice device.
+struct Coordinate {
+  int row = 0;
+  int col = 0;
+};
+
+/// Undirected coupling graph with cached BFS all-pairs distances.
+class CouplingGraph {
+ public:
+  explicit CouplingGraph(int num_qubits);
+
+  int num_qubits() const { return num_qubits_; }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  /// Adds an undirected edge; duplicate and self edges are rejected.
+  void add_edge(Qubit a, Qubit b);
+
+  /// True when a two-qubit gate may be applied across (a, b).
+  bool connected(Qubit a, Qubit b) const;
+
+  const std::vector<Qubit>& neighbors(Qubit q) const;
+  const std::vector<std::pair<Qubit, Qubit>>& edges() const { return edges_; }
+
+  /// Shortest-path hop count between a and b; kInfDistance if unreachable.
+  /// First call after a mutation computes the full BFS matrix (O(V·E)).
+  int distance(Qubit a, Qubit b) const;
+
+  /// True when every qubit can reach every other qubit.
+  bool is_fully_connected() const;
+
+  /// Lattice coordinates (used by H_fine). A graph either has coordinates
+  /// for all qubits or none.
+  void set_coordinates(std::vector<Coordinate> coords);
+  bool has_coordinates() const { return !coords_.empty(); }
+  Coordinate coordinate(Qubit q) const;
+
+ private:
+  void check_qubit(Qubit q) const;
+  void ensure_distances() const;
+
+  int num_qubits_;
+  std::vector<std::vector<Qubit>> adjacency_;
+  std::vector<std::pair<Qubit, Qubit>> edges_;
+  std::vector<Coordinate> coords_;
+  // Lazily computed BFS distance matrix, invalidated by add_edge.
+  mutable std::vector<int> dist_;
+  mutable bool dist_valid_ = false;
+};
+
+}  // namespace codar::arch

@@ -1,0 +1,53 @@
+#pragma once
+
+// Device presets: the four evaluation architectures of the paper plus
+// generic lattice generators for tests and ablations. A Device bundles the
+// maQAM static structure pieces a router needs: coupling graph + durations.
+
+#include <string>
+
+#include "codar/arch/coupling_graph.hpp"
+#include "codar/arch/durations.hpp"
+
+namespace codar::arch {
+
+/// A named NISQ device model (maQAM static structure A_s).
+struct Device {
+  std::string name;
+  CouplingGraph graph;
+  DurationMap durations;
+};
+
+/// IBM Q16 (2×8 lattice, 16 qubits, as in ibmqx5 Rüschlikon / the
+/// "Q16 Melbourne" class of devices). Grid coordinates attached.
+Device ibm_q16();
+
+/// IBM Q20 Tokyo: 4×5 lattice plus the twelve diagonal couplers of the
+/// published coupling map (as used by SABRE). Grid coordinates attached.
+Device ibm_q20_tokyo();
+
+/// Enfield 6×6: plain 36-qubit square lattice.
+Device enfield_6x6();
+
+/// Google Q54 Sycamore: 54-qubit diamond-shaped square lattice (degree <=4)
+/// matching the Sycamore qubit arrangement. Grid coordinates attached.
+Device google_sycamore54();
+
+/// IBM Q5 bow-tie (Yorktown): 5 qubits, edges 0-1, 0-2, 1-2, 2-3, 2-4, 3-4.
+/// Small device for unit tests. No lattice coordinates (not a grid).
+Device ibm_q5_yorktown();
+
+/// rows×cols square lattice with coordinates.
+Device grid(int rows, int cols, DurationMap durations = DurationMap());
+
+/// Path graph 0-1-...-n-1 with coordinates on one row.
+Device linear(int n, DurationMap durations = DurationMap());
+
+/// Cycle graph (linear plus wrap-around edge). No coordinates.
+Device ring(int n, DurationMap durations = DurationMap());
+
+/// The four evaluation architectures of the paper's Fig. 8, in paper order:
+/// IBM Q16, Enfield 6×6, IBM Q20 Tokyo, Google Q54 Sycamore.
+std::vector<Device> paper_architectures();
+
+}  // namespace codar::arch

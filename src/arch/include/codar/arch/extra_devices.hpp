@@ -1,0 +1,28 @@
+#pragma once
+
+// Additional device models beyond the paper's four evaluation
+// architectures, demonstrating the maQAM's multi-architecture claim:
+// IBM-style heavy-hex lattices, Rigetti-style octagon chains, and
+// trapped-ion all-to-all connectivity.
+
+#include "codar/arch/device.hpp"
+
+namespace codar::arch {
+
+/// IBM heavy-hex lattice of the given distance d (odd, >= 3): the qubit
+/// layout used by IBM's Falcon/Hummingbird/Eagle families. Row structure:
+/// d rows of 2d-1 "data" qubits connected horizontally, bridged by rows of
+/// (d+1)/2 connector qubits attached to alternating columns. Grid
+/// coordinates attached (enables H_fine).
+Device heavy_hex(int distance);
+
+/// Rigetti Aspen-style chain of 8-qubit octagon rings, fused at two
+/// qubits per neighbouring ring pair. `octagons` >= 1.
+Device rigetti_octagons(int octagons);
+
+/// Trapped-ion device: all-to-all coupling over n qubits (every pair is
+/// an edge), ion-trap durations by default. Routing on it is trivial —
+/// a useful degenerate case for tests and for the duration ablation.
+Device ion_trap_all_to_all(int n);
+
+}  // namespace codar::arch

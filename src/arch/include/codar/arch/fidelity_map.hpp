@@ -1,0 +1,45 @@
+#pragma once
+
+// Gate-fidelity model backed by Table I: per-kind success probabilities
+// plus readout fidelity. Combined with the duration map and coherence
+// times, it yields the estimated success probability (ESP) metric used by
+// the error-aware mapping literature the paper discusses (§II-b) — an
+// analytical complement to the density-matrix simulation of Fig. 9.
+
+#include <array>
+
+#include "codar/arch/durations.hpp"
+
+namespace codar::arch {
+
+/// Maps every GateKind to its gate fidelity in [0, 1]. Same-kind gates
+/// share one fidelity (the paper's modeling assumption, §III-B).
+class FidelityMap {
+ public:
+  /// Defaults: ideal (fidelity 1 everywhere).
+  FidelityMap();
+
+  double of(ir::GateKind kind) const {
+    return table_[static_cast<std::size_t>(kind)];
+  }
+  double of(const ir::Gate& g) const { return of(g.kind()); }
+
+  void set(ir::GateKind kind, double fidelity);
+  void set_all_single_qubit(double fidelity);
+  /// Every 2-qubit kind; SWAP is set to fidelity^3 (three CX).
+  void set_all_two_qubit(double fidelity);
+  void set_measure(double fidelity);
+
+  // -- Table I presets --
+  /// Superconducting: F1q = 0.9977, F2q = 0.965, readout = 0.93.
+  static FidelityMap superconducting();
+  /// Ion trap: F1q = 0.993, F2q = 0.973, readout = 0.995.
+  static FidelityMap ion_trap();
+  /// Neutral atom: F1q = 0.99995, F2q = 0.82, readout = 0.986.
+  static FidelityMap neutral_atom();
+
+ private:
+  std::array<double, ir::kGateKindCount> table_{};
+};
+
+}  // namespace codar::arch

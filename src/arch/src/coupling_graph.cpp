@@ -1,0 +1,92 @@
+#include "codar/arch/coupling_graph.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace codar::arch {
+
+CouplingGraph::CouplingGraph(int num_qubits) : num_qubits_(num_qubits) {
+  CODAR_EXPECTS(num_qubits > 0);
+  adjacency_.resize(static_cast<std::size_t>(num_qubits));
+}
+
+void CouplingGraph::check_qubit(Qubit q) const {
+  CODAR_EXPECTS(q >= 0 && q < num_qubits_);
+}
+
+void CouplingGraph::add_edge(Qubit a, Qubit b) {
+  check_qubit(a);
+  check_qubit(b);
+  CODAR_EXPECTS(a != b);
+  CODAR_EXPECTS(!connected(a, b));
+  adjacency_[static_cast<std::size_t>(a)].push_back(b);
+  adjacency_[static_cast<std::size_t>(b)].push_back(a);
+  edges_.emplace_back(std::min(a, b), std::max(a, b));
+  dist_valid_ = false;
+}
+
+bool CouplingGraph::connected(Qubit a, Qubit b) const {
+  check_qubit(a);
+  check_qubit(b);
+  const auto& adj = adjacency_[static_cast<std::size_t>(a)];
+  return std::find(adj.begin(), adj.end(), b) != adj.end();
+}
+
+const std::vector<Qubit>& CouplingGraph::neighbors(Qubit q) const {
+  check_qubit(q);
+  return adjacency_[static_cast<std::size_t>(q)];
+}
+
+void CouplingGraph::ensure_distances() const {
+  if (dist_valid_) return;
+  const auto n = static_cast<std::size_t>(num_qubits_);
+  dist_.assign(n * n, kInfDistance);
+  std::deque<Qubit> queue;
+  for (std::size_t src = 0; src < n; ++src) {
+    int* row = dist_.data() + src * n;
+    row[src] = 0;
+    queue.clear();
+    queue.push_back(static_cast<Qubit>(src));
+    while (!queue.empty()) {
+      const Qubit u = queue.front();
+      queue.pop_front();
+      for (const Qubit v : adjacency_[static_cast<std::size_t>(u)]) {
+        if (row[static_cast<std::size_t>(v)] == kInfDistance) {
+          row[static_cast<std::size_t>(v)] =
+              row[static_cast<std::size_t>(u)] + 1;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  dist_valid_ = true;
+}
+
+int CouplingGraph::distance(Qubit a, Qubit b) const {
+  check_qubit(a);
+  check_qubit(b);
+  ensure_distances();
+  return dist_[static_cast<std::size_t>(a) *
+                   static_cast<std::size_t>(num_qubits_) +
+               static_cast<std::size_t>(b)];
+}
+
+bool CouplingGraph::is_fully_connected() const {
+  for (Qubit q = 1; q < num_qubits_; ++q) {
+    if (distance(0, q) >= kInfDistance) return false;
+  }
+  return true;
+}
+
+void CouplingGraph::set_coordinates(std::vector<Coordinate> coords) {
+  CODAR_EXPECTS(coords.size() == static_cast<std::size_t>(num_qubits_));
+  coords_ = std::move(coords);
+}
+
+Coordinate CouplingGraph::coordinate(Qubit q) const {
+  check_qubit(q);
+  CODAR_EXPECTS(has_coordinates());
+  return coords_[static_cast<std::size_t>(q)];
+}
+
+}  // namespace codar::arch

@@ -1,0 +1,136 @@
+#include "codar/arch/device.hpp"
+
+#include <map>
+
+namespace codar::arch {
+
+namespace {
+
+/// Builds a rows×cols lattice: edges between horizontal and vertical
+/// neighbours, coordinates (row, col) attached.
+CouplingGraph make_grid_graph(int rows, int cols) {
+  CODAR_EXPECTS(rows > 0 && cols > 0);
+  CouplingGraph g(rows * cols);
+  std::vector<Coordinate> coords;
+  coords.reserve(static_cast<std::size_t>(rows * cols));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const Qubit q = r * cols + c;
+      if (c + 1 < cols) g.add_edge(q, q + 1);
+      if (r + 1 < rows) g.add_edge(q, q + cols);
+      coords.push_back(Coordinate{r, c});
+    }
+  }
+  g.set_coordinates(std::move(coords));
+  return g;
+}
+
+}  // namespace
+
+Device ibm_q16() {
+  return Device{"IBM Q16", make_grid_graph(2, 8),
+                DurationMap::superconducting()};
+}
+
+Device ibm_q20_tokyo() {
+  CouplingGraph g(20);
+  std::vector<Coordinate> coords;
+  coords.reserve(20);
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 5; ++c) {
+      const Qubit q = r * 5 + c;
+      if (c + 1 < 5) g.add_edge(q, q + 1);
+      if (r + 1 < 4) g.add_edge(q, q + 5);
+      coords.push_back(Coordinate{r, c});
+    }
+  }
+  // The published Tokyo map adds diagonal couplers inside alternating
+  // lattice squares (the "X" cells in the SABRE paper's figure).
+  const std::pair<Qubit, Qubit> diagonals[] = {
+      {1, 7},  {2, 6},  {3, 9},  {4, 8},  {5, 11},  {6, 10},
+      {7, 13}, {8, 12}, {11, 17}, {12, 16}, {13, 19}, {14, 18}};
+  for (const auto& [a, b] : diagonals) g.add_edge(a, b);
+  g.set_coordinates(std::move(coords));
+  return Device{"IBM Q20 Tokyo", std::move(g),
+                DurationMap::superconducting()};
+}
+
+Device enfield_6x6() {
+  return Device{"Enfield 6x6", make_grid_graph(6, 6),
+                DurationMap::superconducting()};
+}
+
+Device google_sycamore54() {
+  // Diamond-shaped subset of the square lattice matching the Sycamore
+  // qubit arrangement: per-row column ranges, grid adjacency.
+  const std::pair<int, int> row_span[] = {
+      {5, 6}, {4, 7}, {3, 8}, {2, 9}, {1, 9}, {0, 8}, {1, 7}, {2, 6},
+      {3, 5}, {4, 4}};
+  std::map<std::pair<int, int>, Qubit> index_of;
+  std::vector<Coordinate> coords;
+  Qubit next = 0;
+  for (int r = 0; r < 10; ++r) {
+    for (int c = row_span[r].first; c <= row_span[r].second; ++c) {
+      index_of[{r, c}] = next++;
+      coords.push_back(Coordinate{r, c});
+    }
+  }
+  CODAR_ENSURES(next == 54);
+  CouplingGraph g(54);
+  for (const auto& [rc, q] : index_of) {
+    const auto right = index_of.find({rc.first, rc.second + 1});
+    if (right != index_of.end()) g.add_edge(q, right->second);
+    const auto down = index_of.find({rc.first + 1, rc.second});
+    if (down != index_of.end()) g.add_edge(q, down->second);
+  }
+  g.set_coordinates(std::move(coords));
+  return Device{"Google Q54 Sycamore", std::move(g),
+                DurationMap::superconducting()};
+}
+
+Device ibm_q5_yorktown() {
+  CouplingGraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(2, 4);
+  g.add_edge(3, 4);
+  return Device{"IBM Q5 Yorktown", std::move(g),
+                DurationMap::superconducting()};
+}
+
+Device grid(int rows, int cols, DurationMap durations) {
+  return Device{"grid " + std::to_string(rows) + "x" + std::to_string(cols),
+                make_grid_graph(rows, cols), durations};
+}
+
+Device linear(int n, DurationMap durations) {
+  CODAR_EXPECTS(n > 0);
+  CouplingGraph g(n);
+  std::vector<Coordinate> coords;
+  for (Qubit q = 0; q < n; ++q) {
+    if (q + 1 < n) g.add_edge(q, q + 1);
+    coords.push_back(Coordinate{0, q});
+  }
+  g.set_coordinates(std::move(coords));
+  return Device{"linear " + std::to_string(n), std::move(g), durations};
+}
+
+Device ring(int n, DurationMap durations) {
+  CODAR_EXPECTS(n >= 3);
+  CouplingGraph g(n);
+  for (Qubit q = 0; q < n; ++q) g.add_edge(q, (q + 1) % n);
+  return Device{"ring " + std::to_string(n), std::move(g), durations};
+}
+
+std::vector<Device> paper_architectures() {
+  std::vector<Device> out;
+  out.push_back(ibm_q16());
+  out.push_back(enfield_6x6());
+  out.push_back(ibm_q20_tokyo());
+  out.push_back(google_sycamore54());
+  return out;
+}
+
+}  // namespace codar::arch

@@ -1,0 +1,32 @@
+#include "codar/arch/device_parameters.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace codar::arch {
+
+const std::vector<DeviceParameters>& table1_parameters() {
+  // Representative midpoints of the ranges in the paper's Table I.
+  static const std::vector<DeviceParameters> params = {
+      {"Ion Q5", "ion trap", "R(theta,alpha)", "XX", 0.991, 0.97, 0.997, 20.0,
+       250.0, -1.0, 500000.0},
+      {"Ion Q11", "ion trap", "R(theta,alpha)", "XX", 0.995, 0.975, 0.993,
+       20.0, 250.0, -1.0, 500000.0},
+      {"IBM Q5", "superconducting", "X,Y,Z,H,S,T", "CNOT", 0.997, 0.965, 0.96,
+       0.13, 0.35, 60.0, 60.0},
+      {"IBM Q16", "superconducting", "X,Y,Z,H,S,T", "CNOT", 0.998, 0.96, 0.93,
+       0.08, 0.28, 70.0, 70.0},
+      {"IBM Q20", "superconducting", "X,Y,Z,H,S,T", "CNOT", 0.9956, 0.97,
+       0.912, 0.08, 0.28, 87.29, 54.43},
+      {"Neutral Atom", "neutral atom", "R(theta,alpha)", "CNOT", 0.99995,
+       0.82, 0.986, 10.0, 10.0, 10000000.0, 1000000.0},
+  };
+  return params;
+}
+
+int duration_ratio_cycles(const DeviceParameters& params) {
+  const double ratio = params.time_2q_us / params.time_1q_us;
+  return std::max(1, static_cast<int>(std::lround(ratio)));
+}
+
+}  // namespace codar::arch

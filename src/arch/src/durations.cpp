@@ -1,0 +1,80 @@
+#include "codar/arch/durations.hpp"
+
+namespace codar::arch {
+
+using ir::GateKind;
+
+DurationMap::DurationMap() {
+  for (std::size_t i = 0; i < ir::kGateKindCount; ++i) {
+    const auto kind = static_cast<GateKind>(i);
+    const ir::GateInfo& info = ir::gate_info(kind);
+    if (kind == GateKind::kBarrier) {
+      table_[i] = 0;
+    } else if (kind == GateKind::kMeasure) {
+      table_[i] = 1;
+    } else if (kind == GateKind::kSwap) {
+      table_[i] = 6;
+    } else if (kind == GateKind::kCCX) {
+      table_[i] = 12;  // six CX at 2 cycles each, 1q gates absorbed
+    } else if (info.num_qubits == 2) {
+      table_[i] = 2;
+    } else {
+      table_[i] = 1;
+    }
+  }
+}
+
+void DurationMap::set(GateKind kind, Duration d) {
+  CODAR_EXPECTS(d >= 0);
+  table_[static_cast<std::size_t>(kind)] = d;
+}
+
+void DurationMap::set_all_single_qubit(Duration d) {
+  CODAR_EXPECTS(d >= 0);
+  for (std::size_t i = 0; i < ir::kGateKindCount; ++i) {
+    const auto kind = static_cast<GateKind>(i);
+    if (ir::gate_info(kind).num_qubits == 1 && ir::is_unitary(kind)) {
+      table_[i] = d;
+    }
+  }
+}
+
+void DurationMap::set_all_two_qubit(Duration d) {
+  CODAR_EXPECTS(d >= 0);
+  for (std::size_t i = 0; i < ir::kGateKindCount; ++i) {
+    const auto kind = static_cast<GateKind>(i);
+    if (ir::gate_info(kind).num_qubits == 2 && kind != GateKind::kSwap) {
+      table_[i] = d;
+    }
+  }
+}
+
+DurationMap DurationMap::superconducting() { return DurationMap(); }
+
+DurationMap DurationMap::ion_trap() {
+  DurationMap m;
+  m.set_all_two_qubit(12);
+  m.set(GateKind::kSwap, 36);
+  m.set(GateKind::kCCX, 72);
+  return m;
+}
+
+DurationMap DurationMap::neutral_atom() {
+  DurationMap m;
+  m.set_all_single_qubit(2);
+  m.set_all_two_qubit(1);
+  m.set(GateKind::kSwap, 3);
+  m.set(GateKind::kCCX, 6);
+  m.set(GateKind::kMeasure, 2);
+  return m;
+}
+
+DurationMap DurationMap::uniform() {
+  DurationMap m;
+  m.set_all_two_qubit(1);
+  m.set(GateKind::kSwap, 3);
+  m.set(GateKind::kCCX, 6);
+  return m;
+}
+
+}  // namespace codar::arch

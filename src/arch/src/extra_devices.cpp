@@ -1,0 +1,72 @@
+#include "codar/arch/extra_devices.hpp"
+
+#include <map>
+#include <string>
+
+namespace codar::arch {
+
+Device heavy_hex(int distance) {
+  CODAR_EXPECTS(distance >= 3 && distance % 2 == 1);
+  const int width = 2 * distance - 1;
+  // Data qubits: `distance` rows of `width`, connected in row paths.
+  // Connector qubits bridge vertically at alternating columns (c % 4 == 0
+  // under even data rows, c % 4 == 2 under odd ones), giving the degree<=3
+  // heavy-hex structure.
+  std::map<std::pair<int, int>, Qubit> index_of;  // (grid row, col)
+  std::vector<Coordinate> coords;
+  Qubit next = 0;
+  auto add_qubit = [&](int row, int col) {
+    index_of[{row, col}] = next++;
+    coords.push_back(Coordinate{row, col});
+  };
+  for (int r = 0; r < distance; ++r) {
+    for (int c = 0; c < width; ++c) add_qubit(2 * r, c);
+    if (r + 1 < distance) {
+      const int offset = (r % 2 == 0) ? 0 : 2;
+      for (int c = offset; c < width; c += 4) add_qubit(2 * r + 1, c);
+    }
+  }
+  CouplingGraph g(next);
+  for (const auto& [rc, q] : index_of) {
+    const auto right = index_of.find({rc.first, rc.second + 1});
+    if (right != index_of.end() && rc.first % 2 == 0) {
+      g.add_edge(q, right->second);
+    }
+    const auto down = index_of.find({rc.first + 1, rc.second});
+    if (down != index_of.end()) g.add_edge(q, down->second);
+  }
+  g.set_coordinates(std::move(coords));
+  return Device{"heavy-hex d=" + std::to_string(distance), std::move(g),
+                DurationMap::superconducting()};
+}
+
+Device rigetti_octagons(int octagons) {
+  CODAR_EXPECTS(octagons >= 1);
+  const int n = 8 * octagons;
+  CouplingGraph g(n);
+  for (int k = 0; k < octagons; ++k) {
+    const Qubit base = static_cast<Qubit>(8 * k);
+    for (Qubit i = 0; i < 8; ++i) {
+      g.add_edge(base + i, base + (i + 1) % 8);
+    }
+    if (k + 1 < octagons) {
+      // Two couplers fuse neighbouring rings, Aspen style.
+      g.add_edge(base + 2, base + 8 + 7);
+      g.add_edge(base + 3, base + 8 + 6);
+    }
+  }
+  return Device{"rigetti " + std::to_string(octagons) + "-octagon",
+                std::move(g), DurationMap::superconducting()};
+}
+
+Device ion_trap_all_to_all(int n) {
+  CODAR_EXPECTS(n >= 2);
+  CouplingGraph g(n);
+  for (Qubit a = 0; a < n; ++a) {
+    for (Qubit b = a + 1; b < n; ++b) g.add_edge(a, b);
+  }
+  return Device{"ion trap " + std::to_string(n) + "q (all-to-all)",
+                std::move(g), DurationMap::ion_trap()};
+}
+
+}  // namespace codar::arch

@@ -1,0 +1,64 @@
+#include "codar/arch/fidelity_map.hpp"
+
+#include <cmath>
+
+namespace codar::arch {
+
+using ir::GateKind;
+
+FidelityMap::FidelityMap() { table_.fill(1.0); }
+
+void FidelityMap::set(GateKind kind, double fidelity) {
+  CODAR_EXPECTS(fidelity >= 0.0 && fidelity <= 1.0);
+  table_[static_cast<std::size_t>(kind)] = fidelity;
+}
+
+void FidelityMap::set_all_single_qubit(double fidelity) {
+  CODAR_EXPECTS(fidelity >= 0.0 && fidelity <= 1.0);
+  for (std::size_t i = 0; i < ir::kGateKindCount; ++i) {
+    const auto kind = static_cast<GateKind>(i);
+    if (ir::gate_info(kind).num_qubits == 1 && ir::is_unitary(kind)) {
+      table_[i] = fidelity;
+    }
+  }
+}
+
+void FidelityMap::set_all_two_qubit(double fidelity) {
+  CODAR_EXPECTS(fidelity >= 0.0 && fidelity <= 1.0);
+  for (std::size_t i = 0; i < ir::kGateKindCount; ++i) {
+    const auto kind = static_cast<GateKind>(i);
+    if (ir::gate_info(kind).num_qubits == 2) table_[i] = fidelity;
+  }
+  set(GateKind::kSwap, std::pow(fidelity, 3.0));
+  set(GateKind::kCCX, std::pow(fidelity, 6.0));
+}
+
+void FidelityMap::set_measure(double fidelity) {
+  set(GateKind::kMeasure, fidelity);
+}
+
+FidelityMap FidelityMap::superconducting() {
+  FidelityMap m;
+  m.set_all_single_qubit(0.9977);
+  m.set_all_two_qubit(0.965);
+  m.set_measure(0.93);
+  return m;
+}
+
+FidelityMap FidelityMap::ion_trap() {
+  FidelityMap m;
+  m.set_all_single_qubit(0.993);
+  m.set_all_two_qubit(0.973);
+  m.set_measure(0.995);
+  return m;
+}
+
+FidelityMap FidelityMap::neutral_atom() {
+  FidelityMap m;
+  m.set_all_single_qubit(0.99995);
+  m.set_all_two_qubit(0.82);
+  m.set_measure(0.986);
+  return m;
+}
+
+}  // namespace codar::arch

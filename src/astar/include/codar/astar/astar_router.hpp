@@ -1,0 +1,45 @@
+#pragma once
+
+// A*-layered baseline (Zulehner, Paler, Wille — TCAD 2019), the second
+// heuristic family the paper's related-work section discusses: partition
+// the circuit into layers of independent gates, then run an A* search over
+// SWAP insertions until every two-qubit gate of the layer is
+// coupling-compliant. Depth-oriented like SABRE, duration- and
+// context-blind like SABRE — a second reference point for CODAR.
+//
+// Engineering notes: the search is per layer, states are layouts hashed by
+// their logical→physical vector, candidate SWAPs touch only the qubits of
+// unsatisfied gates, and a node cap guards against exponential blowups
+// (falling back to greedy shortest-path routing for the rare layer that
+// exceeds it).
+
+#include "codar/arch/device.hpp"
+#include "codar/core/routing_result.hpp"
+#include "codar/layout/layout.hpp"
+
+namespace codar::astar {
+
+struct AstarConfig {
+  /// Maximum A* node expansions per layer before the greedy fallback.
+  int max_expansions = 50000;
+  /// Weight on the heuristic term (1.0 = classic A*; larger = greedier).
+  double heuristic_weight = 1.0;
+};
+
+/// The layered A* mapping pass.
+class AstarRouter {
+ public:
+  explicit AstarRouter(const arch::Device& device, AstarConfig config = {});
+
+  const AstarConfig& config() const { return config_; }
+
+  core::RoutingResult route(const ir::Circuit& circuit,
+                            const layout::Layout& initial) const;
+  core::RoutingResult route(const ir::Circuit& circuit) const;
+
+ private:
+  arch::Device device_;
+  AstarConfig config_;
+};
+
+}  // namespace codar::astar

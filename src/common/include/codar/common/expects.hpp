@@ -1,0 +1,44 @@
+#pragma once
+
+// Contract-checking helpers (C++ Core Guidelines I.5/I.7: state pre- and
+// postconditions). Violations throw codar::ContractViolation so that tests
+// can assert on misuse and library users get a diagnosable error instead of
+// undefined behaviour.
+
+#include <stdexcept>
+#include <string>
+
+namespace codar {
+
+/// Thrown when a precondition, postcondition or internal invariant fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace codar
+
+/// Precondition check: argument validation at public API boundaries.
+#define CODAR_EXPECTS(cond)                                                \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::codar::detail::contract_fail("precondition", #cond, __FILE__,      \
+                                     __LINE__);                            \
+  } while (false)
+
+/// Postcondition / internal invariant check.
+#define CODAR_ENSURES(cond)                                                \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::codar::detail::contract_fail("postcondition", #cond, __FILE__,     \
+                                     __LINE__);                            \
+  } while (false)

@@ -1,0 +1,55 @@
+#pragma once
+
+// Deterministic random-number utilities. All stochastic components of the
+// library (random workloads, Monte-Carlo noise trajectories, randomized
+// initial mappings) take an explicit seed so every experiment is exactly
+// reproducible (C++ Core Guidelines I.2: no hidden global state).
+
+#include <cstdint>
+#include <random>
+
+#include "codar/common/expects.hpp"
+
+namespace codar {
+
+/// A small wrapper over std::mt19937_64 with convenience draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int uniform_int(int lo, int hi) {
+    CODAR_EXPECTS(lo <= hi);
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Uniform std::size_t in [0, n-1]. Requires n > 0.
+  std::size_t index(std::size_t n) {
+    CODAR_EXPECTS(n > 0);
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    CODAR_EXPECTS(lo <= hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli draw with probability p of returning true.
+  bool bernoulli(double p) {
+    CODAR_EXPECTS(p >= 0.0 && p <= 1.0);
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace codar

@@ -1,0 +1,67 @@
+#pragma once
+
+// The CODAR remapper (paper §IV-C, Fig. 4): an event-driven loop that, per
+// quantum clock cycle,
+//   1. extracts the commutative front (CF) set of the pending sequence,
+//   2. launches every CF gate that is lock-free and coupling-compliant,
+//   3. for the still-blocked CF two-qubit gates, builds the candidate SWAP
+//      set from lock-free edges adjacent to their physical qubits and
+//      greedily inserts the highest-⟨H_basic, H_fine⟩ SWAPs with positive
+//      basic priority,
+// resolving deadlocks by forcing the best SWAP (with an anti-oscillation
+// guard and a shortest-path stagnation escape; see DESIGN.md §3.3), and
+// then jumping time to the next lock expiry.
+
+#include "codar/arch/device.hpp"
+#include "codar/core/routing_result.hpp"
+#include "codar/layout/layout.hpp"
+
+namespace codar::core {
+
+/// Feature toggles and tuning knobs. The defaults are the full CODAR
+/// algorithm; the `*_aware` switches exist for the paper's motivating
+/// comparisons and our ablation benches.
+struct CodarConfig {
+  /// Context sensitivity: restrict SWAP candidates to lock-free edges and
+  /// launch order to lock-free gates. Off = the router ignores qubit
+  /// occupancy when *choosing* SWAPs (timing stays correct).
+  bool context_aware = true;
+  /// Duration awareness: locks advance by real gate durations. Off = the
+  /// router's internal clock pretends every gate takes one cycle (SWAP 3).
+  bool duration_aware = true;
+  /// CF look-ahead: off = plain DAG front layer instead of Definition 1.
+  bool commutativity_aware = true;
+  /// Lattice tie-breaking H_fine. Off = basic priority only.
+  bool fine_priority = true;
+  /// CF scan cap (gates); <= 0 means unbounded.
+  int front_window = 150;
+  /// Consecutive forced SWAPs (no launch in between) before switching to
+  /// the shortest-path escape that guarantees progress.
+  int stagnation_threshold = 2;
+};
+
+/// SWAP-based heuristic remapper, duration- and context-aware.
+class CodarRouter {
+ public:
+  /// The device graph must be connected (otherwise some two-qubit gates
+  /// could never be routed).
+  explicit CodarRouter(const arch::Device& device, CodarConfig config = {});
+
+  const CodarConfig& config() const { return config_; }
+
+  /// Routes `circuit` starting from the given initial layout. The circuit
+  /// must be lowered to <=2-qubit gates and fit the device
+  /// (used qubits <= physical qubits).
+  RoutingResult route(const ir::Circuit& circuit,
+                      const layout::Layout& initial) const;
+
+  /// Routes from the identity layout π(q) = q.
+  RoutingResult route(const ir::Circuit& circuit) const;
+
+ private:
+  arch::Device device_;  ///< Copied: the router owns its device model.
+  CodarConfig config_;
+  arch::DurationMap lock_durations_;  ///< Real or uniform (ablation).
+};
+
+}  // namespace codar::core

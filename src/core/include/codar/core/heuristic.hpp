@@ -1,0 +1,59 @@
+#pragma once
+
+// The CODAR heuristic cost function Heuristic(g_swap, M, π) = ⟨H_basic,
+// H_fine⟩ (paper §IV-D). H_basic measures how much a candidate SWAP
+// shortens the total coupling-graph distance of the CF set's two-qubit
+// gates (Eq. 1); H_fine breaks ties on 2-D lattices by preferring mappings
+// whose horizontal and vertical distances are balanced, which preserves
+// more shortest routing paths (Eq. 2).
+
+#include <cstdint>
+#include <span>
+#include <utility>
+
+#include "codar/arch/coupling_graph.hpp"
+
+namespace codar::core {
+
+using ir::Qubit;
+
+/// A candidate SWAP: an edge of the coupling graph, physical qubits.
+struct SwapCandidate {
+  Qubit a = -1;
+  Qubit b = -1;
+
+  friend bool operator==(const SwapCandidate&, const SwapCandidate&) = default;
+};
+
+/// Physical endpoints of one two-qubit CF gate under the current π.
+using GateEndpoints = std::pair<Qubit, Qubit>;
+
+/// Lexicographic priority ⟨H_basic, H_fine⟩: basic compared first, fine
+/// only on ties.
+struct SwapPriority {
+  std::int64_t basic = 0;
+  std::int64_t fine = 0;
+
+  friend bool operator==(const SwapPriority&, const SwapPriority&) = default;
+  friend auto operator<=>(const SwapPriority& lhs, const SwapPriority& rhs) {
+    if (lhs.basic != rhs.basic) return lhs.basic <=> rhs.basic;
+    return lhs.fine <=> rhs.fine;
+  }
+};
+
+/// H_basic (Eq. 1): Σ_g [ D(π(g)) − D(π∘swap(g)) ] over the CF two-qubit
+/// gates. Positive = the SWAP brings gates closer overall.
+std::int64_t h_basic(std::span<const GateEndpoints> cf_gates,
+                     const arch::CouplingGraph& graph, SwapCandidate swap);
+
+/// H_fine (Eq. 2): −Σ_g |VD − HD| under π∘swap, on devices with lattice
+/// coordinates; 0 on devices without coordinates.
+std::int64_t h_fine(std::span<const GateEndpoints> cf_gates,
+                    const arch::CouplingGraph& graph, SwapCandidate swap);
+
+/// Full priority; `use_fine = false` pins H_fine to 0 (ablation).
+SwapPriority swap_priority(std::span<const GateEndpoints> cf_gates,
+                           const arch::CouplingGraph& graph,
+                           SwapCandidate swap, bool use_fine = true);
+
+}  // namespace codar::core

@@ -1,0 +1,50 @@
+#pragma once
+
+// Qubit locks (paper §IV-A): one t_end per physical qubit. A qubit is busy
+// until its lock expires; launching a gate of duration τ at time t sets the
+// lock of every operand to t + τ. The lock bank is how CODAR perceives both
+// program context (which qubits the past gates still occupy) and gate
+// duration differences (shorter gates free their qubits earlier).
+
+#include <span>
+#include <vector>
+
+#include "codar/arch/durations.hpp"
+#include "codar/ir/gate.hpp"
+
+namespace codar::core {
+
+using arch::Duration;
+using ir::Qubit;
+
+/// Bank of per-physical-qubit locks t_end, all starting at 0.
+class QubitLockBank {
+ public:
+  explicit QubitLockBank(int num_qubits);
+
+  int num_qubits() const { return static_cast<int>(t_end_.size()); }
+
+  /// The time until which qubit q is busy.
+  Duration t_end(Qubit q) const {
+    CODAR_EXPECTS(q >= 0 && q < num_qubits());
+    return t_end_[static_cast<std::size_t>(q)];
+  }
+
+  /// True when qubit q is free at time `now` (t_end <= now).
+  bool is_free(Qubit q, Duration now) const { return t_end(q) <= now; }
+
+  /// True when every listed qubit is free at `now`.
+  bool all_free(std::span<const Qubit> qubits, Duration now) const;
+
+  /// Occupies every listed qubit until now + duration.
+  void lock(std::span<const Qubit> qubits, Duration now, Duration duration);
+
+  /// Earliest lock expiry strictly greater than `now`; returns `now` when
+  /// no qubit is busy beyond `now`.
+  Duration next_expiry_after(Duration now) const;
+
+ private:
+  std::vector<Duration> t_end_;
+};
+
+}  // namespace codar::core

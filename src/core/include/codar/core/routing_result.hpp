@@ -1,0 +1,34 @@
+#pragma once
+
+// Common result type for qubit-mapping passes (CODAR and the SABRE
+// baseline both produce one), plus per-run statistics.
+
+#include <cstdint>
+
+#include "codar/arch/durations.hpp"
+#include "codar/ir/circuit.hpp"
+#include "codar/layout/layout.hpp"
+
+namespace codar::core {
+
+/// Counters a router reports alongside its output circuit.
+struct RouterStats {
+  std::size_t swaps_inserted = 0;
+  std::size_t gates_routed = 0;     ///< Original gates emitted (== input size).
+  std::size_t cycles_simulated = 0; ///< Event-loop iterations (CODAR only).
+  std::size_t forced_swaps = 0;     ///< Deadlock-resolution SWAPs (CODAR only).
+  std::size_t escape_swaps = 0;     ///< Stagnation shortest-path SWAPs.
+  arch::Duration router_makespan = 0;  ///< The router's own timeline length.
+};
+
+/// Output of a routing pass: a hardware-compliant circuit over the device's
+/// physical register, together with the layouts that relate it back to the
+/// logical input circuit.
+struct RoutingResult {
+  ir::Circuit circuit;     ///< Physical circuit (SWAPs included).
+  layout::Layout initial;  ///< π at circuit start.
+  layout::Layout final;    ///< π after all inserted SWAPs.
+  RouterStats stats;
+};
+
+}  // namespace codar::core

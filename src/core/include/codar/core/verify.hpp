@@ -1,0 +1,39 @@
+#pragma once
+
+// Routing verifier: checks that a RoutingResult is a faithful, hardware-
+// compliant transformation of its source circuit. Used by tests and by the
+// benchmark harness as a safety net (a router that wins by dropping gates
+// is not a router).
+
+#include <string>
+
+#include "codar/arch/coupling_graph.hpp"
+#include "codar/core/routing_result.hpp"
+
+namespace codar::core {
+
+/// Outcome of verification; `ok()` or a human-readable failure reason.
+struct VerifyOutcome {
+  bool valid = true;
+  std::string reason;
+
+  static VerifyOutcome ok() { return {}; }
+  static VerifyOutcome fail(std::string why) {
+    return VerifyOutcome{false, std::move(why)};
+  }
+};
+
+/// Verifies three properties:
+///  1. connectivity — every 2-qubit gate of the routed circuit (including
+///     SWAPs) acts on an edge of the coupling graph;
+///  2. layout consistency — replaying the routed circuit's SWAPs from the
+///     initial layout yields exactly `result.final`;
+///  3. semantic faithfulness — stripping SWAPs and mapping physical
+///     operands back to logical ones yields a sequence obtainable from the
+///     original circuit by repeatedly emitting commutative-front gates
+///     (hence equal as a unitary, gate for gate).
+VerifyOutcome verify_routing(const ir::Circuit& original,
+                             const RoutingResult& result,
+                             const arch::CouplingGraph& graph);
+
+}  // namespace codar::core

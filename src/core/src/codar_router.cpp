@@ -1,0 +1,385 @@
+#include "codar/core/codar_router.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "codar/core/commutativity.hpp"
+#include "codar/core/heuristic.hpp"
+#include "codar/core/qubit_lock.hpp"
+#include "codar/ir/decompose.hpp"
+
+namespace codar::core {
+
+namespace {
+
+using ir::Gate;
+using ir::GateKind;
+using ir::Qubit;
+
+/// Hard iteration cap: the stagnation escape guarantees progress, so this
+/// only trips on an internal bug; better a loud error than a silent hang.
+constexpr std::size_t kMaxIterations = 50'000'000;
+
+/// Working state of one route() invocation.
+class RoutingRun {
+ public:
+  RoutingRun(const arch::Device& device, const CodarConfig& config,
+             const arch::DurationMap& lock_durations,
+             const ir::Circuit& input, const layout::Layout& initial)
+      : device_(device),
+        config_(config),
+        lock_dur_(lock_durations),
+        gates_(input.gates().begin(), input.gates().end()),
+        alive_(gates_.size(), true),
+        live_count_(gates_.size()),
+        pi_(initial),
+        initial_(initial),
+        locks_(device.graph.num_qubits()),
+        out_(device.graph.num_qubits(), input.name() + "_codar") {
+    pending_.resize(gates_.size());
+    for (std::size_t i = 0; i < pending_.size(); ++i)
+      pending_[i] = static_cast<int>(i);
+  }
+
+  RoutingResult run() {
+    std::size_t iterations = 0;
+    while (live_count_ > 0) {
+      if (++iterations > kMaxIterations) {
+        throw std::runtime_error(
+            "CodarRouter: iteration cap exceeded (livelock?)");
+      }
+      ++stats_.cycles_simulated;
+      const bool launched = launch_step();
+      const bool inserted = swap_step();
+      if (launched || inserted) {
+        advance_after_progress();
+        continue;
+      }
+      const Duration next = locks_.next_expiry_after(now_);
+      if (next > now_) {
+        now_ = next;  // wait for a busy qubit to free up
+      } else {
+        // Deadlock (paper §IV-D): every qubit is idle yet nothing can
+        // launch and no SWAP has positive priority.
+        force_swap();
+      }
+    }
+    RoutingResult result{std::move(out_), std::move(initial_), std::move(pi_),
+                         stats_};
+    for (Qubit q = 0; q < device_.graph.num_qubits(); ++q) {
+      result.stats.router_makespan =
+          std::max(result.stats.router_makespan, locks_.t_end(q));
+    }
+    result.stats.gates_routed = gates_.size();
+    return result;
+  }
+
+ private:
+  // -- CF maintenance -------------------------------------------------------
+
+  void compact_pending() {
+    if (dead_in_pending_ * 2 <= pending_.size()) return;
+    std::erase_if(pending_, [&](int gi) {
+      return !alive_[static_cast<std::size_t>(gi)];
+    });
+    dead_in_pending_ = 0;
+  }
+
+  /// Recomputes the CF gate list (gate indices, program order) over the
+  /// first `front_window` alive pending gates.
+  void compute_cf() {
+    compact_pending();
+    cf_.clear();
+    const std::size_t window =
+        config_.front_window <= 0
+            ? pending_.size()
+            : static_cast<std::size_t>(config_.front_window);
+    // wire_scratch_[q] = alive scanned gate indices on logical wire q, in
+    // program order.
+    wire_scratch_.resize(static_cast<std::size_t>(device_.graph.num_qubits()));
+    for (auto& wire : wire_scratch_) wire.clear();
+    std::size_t scanned = 0;
+    for (const int gi : pending_) {
+      if (!alive_[static_cast<std::size_t>(gi)]) continue;
+      if (scanned >= window) break;
+      ++scanned;
+      const Gate& g = gates_[static_cast<std::size_t>(gi)];
+      bool is_front = true;
+      for (const Qubit q : g.qubits()) {
+        for (const int earlier : wire_scratch_[static_cast<std::size_t>(q)]) {
+          const Gate& h = gates_[static_cast<std::size_t>(earlier)];
+          if (!config_.commutativity_aware || !gates_commute(h, g)) {
+            is_front = false;
+            break;
+          }
+        }
+        if (!is_front) break;
+      }
+      if (is_front) cf_.push_back(gi);
+      for (const Qubit q : g.qubits()) {
+        wire_scratch_[static_cast<std::size_t>(q)].push_back(gi);
+      }
+    }
+    cf_dirty_ = false;
+  }
+
+  void retire(int gate_index) {
+    alive_[static_cast<std::size_t>(gate_index)] = false;
+    ++dead_in_pending_;
+    --live_count_;
+    cf_dirty_ = true;
+    consecutive_forced_ = 0;
+    last_forced_ = SwapCandidate{};
+  }
+
+  // -- Step 1 + 2: launch every executable CF gate (to fixpoint) ------------
+
+  bool launch_step() {
+    bool launched_any = false;
+    for (;;) {
+      if (cf_dirty_) compute_cf();
+      bool launched = false;
+      for (const int gi : cf_) {
+        if (!alive_[static_cast<std::size_t>(gi)]) continue;
+        const Gate& g = gates_[static_cast<std::size_t>(gi)];
+        const Gate phys = g.remapped(
+            [&](Qubit lq) { return pi_.physical(lq); });
+        if (!locks_.all_free(phys.qubits(), now_)) continue;
+        if (phys.num_qubits() == 2 && phys.kind() != GateKind::kBarrier &&
+            !device_.graph.connected(phys.qubit(0), phys.qubit(1))) {
+          continue;
+        }
+        out_.add(phys);
+        locks_.lock(phys.qubits(), now_, lock_dur_.of(g));
+        retire(gi);
+        launched = true;
+      }
+      if (!launched) break;
+      launched_any = true;
+    }
+    return launched_any;
+  }
+
+  // -- Step 3: SWAP insertion ------------------------------------------------
+
+  /// Endpoints of every alive two-qubit CF gate under the current π.
+  std::vector<GateEndpoints> cf_two_qubit_endpoints() const {
+    std::vector<GateEndpoints> endpoints;
+    for (const int gi : cf_) {
+      if (!alive_[static_cast<std::size_t>(gi)]) continue;
+      const Gate& g = gates_[static_cast<std::size_t>(gi)];
+      if (g.num_qubits() != 2 || g.kind() == GateKind::kBarrier) continue;
+      endpoints.emplace_back(pi_.physical(g.qubit(0)),
+                             pi_.physical(g.qubit(1)));
+    }
+    return endpoints;
+  }
+
+  /// Alive CF two-qubit gates whose endpoints are not coupled (in program
+  /// order).
+  std::vector<int> blocked_gates() const {
+    std::vector<int> blocked;
+    for (const int gi : cf_) {
+      if (!alive_[static_cast<std::size_t>(gi)]) continue;
+      const Gate& g = gates_[static_cast<std::size_t>(gi)];
+      if (g.num_qubits() != 2 || g.kind() == GateKind::kBarrier) continue;
+      if (!device_.graph.connected(pi_.physical(g.qubit(0)),
+                                   pi_.physical(g.qubit(1)))) {
+        blocked.push_back(gi);
+      }
+    }
+    return blocked;
+  }
+
+  /// Candidate SWAPs: edges adjacent to the physical qubits of blocked CF
+  /// gates; with context awareness only lock-free edges qualify.
+  std::vector<SwapCandidate> build_candidates(
+      const std::vector<int>& blocked, bool filter_locks) const {
+    std::vector<SwapCandidate> candidates;
+    auto add_edge = [&](Qubit p, Qubit nb) {
+      SwapCandidate cand{std::min(p, nb), std::max(p, nb)};
+      if (std::find(candidates.begin(), candidates.end(), cand) ==
+          candidates.end()) {
+        candidates.push_back(cand);
+      }
+    };
+    for (const int gi : blocked) {
+      const Gate& g = gates_[static_cast<std::size_t>(gi)];
+      for (int i = 0; i < 2; ++i) {
+        const Qubit p = pi_.physical(g.qubit(i));
+        if (filter_locks && !locks_.is_free(p, now_)) continue;
+        for (const Qubit nb : device_.graph.neighbors(p)) {
+          if (filter_locks && !locks_.is_free(nb, now_)) continue;
+          add_edge(p, nb);
+        }
+      }
+    }
+    return candidates;
+  }
+
+  void insert_swap(SwapCandidate cand) {
+    const Duration start = std::max(
+        {now_, locks_.t_end(cand.a), locks_.t_end(cand.b)});
+    out_.swap(cand.a, cand.b);
+    const Qubit pair[] = {cand.a, cand.b};
+    locks_.lock(pair, start, lock_dur_.of(GateKind::kSwap));
+    pi_.swap_physical(cand.a, cand.b);
+    ++stats_.swaps_inserted;
+  }
+
+  bool swap_step() {
+    if (cf_dirty_) compute_cf();
+    const std::vector<int> blocked = blocked_gates();
+    if (blocked.empty()) return false;
+    std::vector<SwapCandidate> candidates =
+        build_candidates(blocked, config_.context_aware);
+    bool inserted_any = false;
+    while (!candidates.empty()) {
+      const std::vector<GateEndpoints> endpoints = cf_two_qubit_endpoints();
+      const SwapCandidate* best = nullptr;
+      SwapPriority best_priority;
+      for (const SwapCandidate& cand : candidates) {
+        const SwapPriority p = swap_priority(endpoints, device_.graph, cand,
+                                             config_.fine_priority);
+        if (best == nullptr || p > best_priority) {
+          best = &cand;
+          best_priority = p;
+        }
+      }
+      if (best == nullptr || best_priority.basic <= 0) break;
+      const SwapCandidate chosen = *best;
+      insert_swap(chosen);
+      inserted_any = true;
+      if (config_.context_aware) {
+        // The chosen SWAP locked its endpoints; overlapping edges are no
+        // longer lock-free this cycle.
+        std::erase_if(candidates, [&](const SwapCandidate& c) {
+          return c.a == chosen.a || c.a == chosen.b || c.b == chosen.a ||
+                 c.b == chosen.b;
+        });
+      } else {
+        std::erase_if(candidates,
+                      [&](const SwapCandidate& c) { return c == chosen; });
+      }
+    }
+    return inserted_any;
+  }
+
+  // -- Deadlock resolution ----------------------------------------------------
+
+  void force_swap() {
+    if (cf_dirty_) compute_cf();
+    const std::vector<int> blocked = blocked_gates();
+    // live_count_ > 0 and nothing launched with all qubits free implies at
+    // least one CF two-qubit gate is blocked by connectivity.
+    CODAR_ENSURES(!blocked.empty());
+    ++consecutive_forced_;
+    if (consecutive_forced_ > config_.stagnation_threshold) {
+      escape_swap(blocked.front());
+      return;
+    }
+    std::vector<SwapCandidate> candidates =
+        build_candidates(blocked, config_.context_aware);
+    CODAR_ENSURES(!candidates.empty());
+    // Anti-oscillation: never immediately undo the previous forced SWAP
+    // (forcing an H_basic = 0 SWAP and its inverse would ping-pong).
+    if (candidates.size() > 1) {
+      std::erase_if(candidates,
+                    [&](const SwapCandidate& c) { return c == last_forced_; });
+    }
+    const std::vector<GateEndpoints> endpoints = cf_two_qubit_endpoints();
+    const SwapCandidate* best = nullptr;
+    SwapPriority best_priority;
+    for (const SwapCandidate& cand : candidates) {
+      const SwapPriority p = swap_priority(endpoints, device_.graph, cand,
+                                           config_.fine_priority);
+      if (best == nullptr || p > best_priority) {
+        best = &cand;
+        best_priority = p;
+      }
+    }
+    last_forced_ = *best;
+    insert_swap(*best);
+    ++stats_.forced_swaps;
+  }
+
+  /// Stagnation escape: move the oldest blocked gate one step along a
+  /// shortest path — monotone progress, so the router always terminates.
+  void escape_swap(int gate_index) {
+    const Gate& g = gates_[static_cast<std::size_t>(gate_index)];
+    const Qubit pa = pi_.physical(g.qubit(0));
+    const Qubit pb = pi_.physical(g.qubit(1));
+    Qubit step = -1;
+    for (const Qubit nb : device_.graph.neighbors(pa)) {
+      if (step < 0 ||
+          device_.graph.distance(nb, pb) < device_.graph.distance(step, pb)) {
+        step = nb;
+      }
+    }
+    CODAR_ENSURES(step >= 0);
+    insert_swap(SwapCandidate{std::min(pa, step), std::max(pa, step)});
+    last_forced_ = SwapCandidate{};
+    ++stats_.forced_swaps;
+    ++stats_.escape_swaps;
+  }
+
+  // -- Time control -----------------------------------------------------------
+
+  void advance_after_progress() {
+    const Duration next = locks_.next_expiry_after(now_);
+    if (next > now_) now_ = next;
+    // next == now_ happens when only zero-duration barriers launched; the
+    // main loop simply runs another iteration at the same time.
+  }
+
+  const arch::Device& device_;
+  const CodarConfig& config_;
+  const arch::DurationMap& lock_dur_;
+
+  std::vector<Gate> gates_;
+  std::vector<int> pending_;
+  std::vector<bool> alive_;
+  std::size_t dead_in_pending_ = 0;
+  std::size_t live_count_ = 0;
+  layout::Layout pi_;
+  layout::Layout initial_;
+  QubitLockBank locks_;
+  Duration now_ = 0;
+  ir::Circuit out_;
+  RouterStats stats_;
+
+  std::vector<int> cf_;
+  bool cf_dirty_ = true;
+  std::vector<std::vector<int>> wire_scratch_;
+
+  SwapCandidate last_forced_{};
+  int consecutive_forced_ = 0;
+};
+
+}  // namespace
+
+CodarRouter::CodarRouter(const arch::Device& device, CodarConfig config)
+    : device_(device),
+      config_(config),
+      lock_durations_(config.duration_aware ? device.durations
+                                            : arch::DurationMap::uniform()) {
+  CODAR_EXPECTS(device.graph.is_fully_connected());
+  CODAR_EXPECTS(config.stagnation_threshold >= 1);
+}
+
+RoutingResult CodarRouter::route(const ir::Circuit& circuit,
+                                 const layout::Layout& initial) const {
+  CODAR_EXPECTS(ir::is_two_qubit_lowered(circuit));
+  CODAR_EXPECTS(circuit.num_qubits() <= device_.graph.num_qubits());
+  CODAR_EXPECTS(initial.num_logical() == circuit.num_qubits());
+  CODAR_EXPECTS(initial.num_physical() == device_.graph.num_qubits());
+  RoutingRun run(device_, config_, lock_durations_, circuit, initial);
+  return run.run();
+}
+
+RoutingResult CodarRouter::route(const ir::Circuit& circuit) const {
+  return route(circuit, layout::Layout(circuit.num_qubits(),
+                                       device_.graph.num_qubits()));
+}
+
+}  // namespace codar::core

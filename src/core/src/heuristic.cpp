@@ -1,0 +1,53 @@
+#include "codar/core/heuristic.hpp"
+
+#include <cmath>
+
+namespace codar::core {
+
+namespace {
+
+/// Applies the transposition (swap.a swap.b) to a physical qubit.
+Qubit transpose(Qubit p, SwapCandidate swap) {
+  if (p == swap.a) return swap.b;
+  if (p == swap.b) return swap.a;
+  return p;
+}
+
+}  // namespace
+
+std::int64_t h_basic(std::span<const GateEndpoints> cf_gates,
+                     const arch::CouplingGraph& graph, SwapCandidate swap) {
+  std::int64_t total = 0;
+  for (const auto& [pa, pb] : cf_gates) {
+    const Qubit na = transpose(pa, swap);
+    const Qubit nb = transpose(pb, swap);
+    if (na == pa && nb == pb) continue;  // unaffected gate contributes 0
+    total += graph.distance(pa, pb) - graph.distance(na, nb);
+  }
+  return total;
+}
+
+std::int64_t h_fine(std::span<const GateEndpoints> cf_gates,
+                    const arch::CouplingGraph& graph, SwapCandidate swap) {
+  if (!graph.has_coordinates()) return 0;
+  std::int64_t total = 0;
+  for (const auto& [pa, pb] : cf_gates) {
+    const arch::Coordinate ca = graph.coordinate(transpose(pa, swap));
+    const arch::Coordinate cb = graph.coordinate(transpose(pb, swap));
+    const int vd = std::abs(ca.row - cb.row);
+    const int hd = std::abs(ca.col - cb.col);
+    total -= std::abs(vd - hd);
+  }
+  return total;
+}
+
+SwapPriority swap_priority(std::span<const GateEndpoints> cf_gates,
+                           const arch::CouplingGraph& graph,
+                           SwapCandidate swap, bool use_fine) {
+  SwapPriority p;
+  p.basic = h_basic(cf_gates, graph, swap);
+  p.fine = use_fine ? h_fine(cf_gates, graph, swap) : 0;
+  return p;
+}
+
+}  // namespace codar::core

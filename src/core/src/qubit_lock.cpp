@@ -1,0 +1,38 @@
+#include "codar/core/qubit_lock.hpp"
+
+namespace codar::core {
+
+QubitLockBank::QubitLockBank(int num_qubits) {
+  CODAR_EXPECTS(num_qubits > 0);
+  t_end_.assign(static_cast<std::size_t>(num_qubits), 0);
+}
+
+bool QubitLockBank::all_free(std::span<const Qubit> qubits,
+                             Duration now) const {
+  for (const Qubit q : qubits) {
+    if (!is_free(q, now)) return false;
+  }
+  return true;
+}
+
+void QubitLockBank::lock(std::span<const Qubit> qubits, Duration now,
+                         Duration duration) {
+  CODAR_EXPECTS(duration >= 0);
+  for (const Qubit q : qubits) {
+    CODAR_EXPECTS(q >= 0 && q < num_qubits());
+    // A gate may only be launched on free qubits; re-locking a busy qubit
+    // would mean two gates overlap on it.
+    CODAR_EXPECTS(t_end_[static_cast<std::size_t>(q)] <= now);
+    t_end_[static_cast<std::size_t>(q)] = now + duration;
+  }
+}
+
+Duration QubitLockBank::next_expiry_after(Duration now) const {
+  Duration next = now;
+  for (const Duration t : t_end_) {
+    if (t > now && (next == now || t < next)) next = t;
+  }
+  return next;
+}
+
+}  // namespace codar::core

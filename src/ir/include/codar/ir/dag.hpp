@@ -1,0 +1,45 @@
+#pragma once
+
+// Gate dependency DAG. Two gates depend on each other when they share a
+// qubit and appear in sequence order; the DAG keeps only the immediate
+// (per-wire) edges. Used by the SABRE baseline's front layer and by the
+// equivalence checker.
+
+#include <vector>
+
+#include "codar/ir/circuit.hpp"
+
+namespace codar::ir {
+
+/// Immediate-dependency DAG of a circuit. Node i corresponds to gate i of
+/// the circuit it was built from.
+class DependencyDag {
+ public:
+  explicit DependencyDag(const Circuit& circuit);
+
+  std::size_t size() const { return succ_.size(); }
+
+  /// Gates that must retire before gate i may start (per-wire immediate
+  /// predecessors, deduplicated).
+  const std::vector<int>& predecessors(int i) const {
+    CODAR_EXPECTS(i >= 0 && static_cast<std::size_t>(i) < pred_.size());
+    return pred_[static_cast<std::size_t>(i)];
+  }
+  /// Gates that directly wait on gate i.
+  const std::vector<int>& successors(int i) const {
+    CODAR_EXPECTS(i >= 0 && static_cast<std::size_t>(i) < succ_.size());
+    return succ_[static_cast<std::size_t>(i)];
+  }
+  int in_degree(int i) const {
+    return static_cast<int>(predecessors(i).size());
+  }
+
+  /// Indices of gates with no predecessors (the initial front layer).
+  std::vector<int> roots() const;
+
+ private:
+  std::vector<std::vector<int>> pred_;
+  std::vector<std::vector<int>> succ_;
+};
+
+}  // namespace codar::ir

@@ -1,0 +1,22 @@
+#pragma once
+
+// Decomposition passes that lower the IR to the operand arities the routers
+// accept (<= 2 qubits). The routers treat every 2-qubit kind natively, so
+// only 3-qubit Toffolis need lowering; SWAP lowering is provided for noise
+// simulation on devices whose native alphabet has no SWAP.
+
+#include "codar/ir/circuit.hpp"
+
+namespace codar::ir {
+
+/// Replaces every CCX by the standard 6-CX / T-depth-4 network
+/// (Nielsen & Chuang fig. 4.9). Other gates pass through unchanged.
+Circuit decompose_toffoli(const Circuit& circuit);
+
+/// Replaces every SWAP a,b by CX a,b; CX b,a; CX a,b.
+Circuit decompose_swaps(const Circuit& circuit);
+
+/// True if every gate has at most 2 qubit operands.
+bool is_two_qubit_lowered(const Circuit& circuit);
+
+}  // namespace codar::ir

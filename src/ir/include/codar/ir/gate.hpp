@@ -1,0 +1,178 @@
+#pragma once
+
+// Quantum gate IR. A Gate is a small value type (kind + up to three qubit
+// operands + up to three real parameters) with no heap allocation, so that
+// circuits with tens of thousands of gates stay cheap to copy and scan —
+// the CODAR router re-scans the pending gate window every cycle.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "codar/common/expects.hpp"
+
+namespace codar::ir {
+
+/// Logical or physical qubit index. Which one it denotes is contextual:
+/// circuits entering the router use logical indices, routed circuits use
+/// physical indices.
+using Qubit = std::int32_t;
+
+/// The gate alphabet: the OpenQASM-2 qelib1 subset that the paper's
+/// benchmark families need, plus SWAP (inserted by routers), plus
+/// Measure/Barrier pseudo-operations.
+enum class GateKind : std::uint8_t {
+  kI,
+  kX,
+  kY,
+  kZ,
+  kH,
+  kS,
+  kSdg,
+  kT,
+  kTdg,
+  kSX,
+  kRX,    // rx(theta)
+  kRY,    // ry(theta)
+  kRZ,    // rz(theta)
+  kU1,    // u1(lambda)
+  kU2,    // u2(phi, lambda)
+  kU3,    // u3(theta, phi, lambda)
+  kCX,    // controlled-X; qubit 0 = control, qubit 1 = target
+  kCZ,
+  kCY,
+  kCH,
+  kCRZ,   // crz(theta)
+  kCU1,   // cu1(lambda) — controlled phase; ubiquitous in QFT
+  kRZZ,   // rzz(theta)
+  kSwap,
+  kCCX,   // Toffoli; qubits 0,1 = controls, qubit 2 = target
+  kMeasure,
+  kBarrier,
+};
+
+/// Number of distinct GateKind values (for metadata tables / enumeration).
+inline constexpr std::size_t kGateKindCount =
+    static_cast<std::size_t>(GateKind::kBarrier) + 1;
+
+/// Static per-kind metadata.
+struct GateInfo {
+  const char* name;      ///< OpenQASM mnemonic.
+  int num_qubits;        ///< Operand arity (Barrier is variadic; this is -1).
+  int num_params;        ///< Real-parameter arity.
+};
+
+/// Metadata lookup. Never fails: every GateKind has an entry.
+const GateInfo& gate_info(GateKind kind);
+
+/// True for gates whose unitary is diagonal in the computational basis
+/// (Z-axis family). Diagonal gates all commute with each other.
+bool is_diagonal(GateKind kind);
+
+/// True for 1-qubit gates whose unitary is a (possibly scaled) rotation
+/// about the X axis; these commute with each other and with the target of
+/// a CX.
+bool is_x_axis(GateKind kind);
+
+/// True for the 2-qubit kinds (CX, CZ, CY, CH, CRZ, CU1, RZZ, Swap).
+bool is_two_qubit(GateKind kind);
+
+/// True for unitary gate kinds (everything except Measure and Barrier).
+bool is_unitary(GateKind kind);
+
+/// A single gate application. Value type; at most 3 qubits and 3 params.
+class Gate {
+ public:
+  static constexpr int kMaxQubits = 3;
+  static constexpr int kMaxParams = 3;
+
+  /// Generic constructor; validates operand/parameter arity against the
+  /// kind's metadata and pairwise-distinct qubits.
+  Gate(GateKind kind, std::span<const Qubit> qubits,
+       std::span<const double> params = {});
+
+  // -- Convenience factories (cover the whole alphabet) --
+  static Gate i(Qubit q) { return unary(GateKind::kI, q); }
+  static Gate x(Qubit q) { return unary(GateKind::kX, q); }
+  static Gate y(Qubit q) { return unary(GateKind::kY, q); }
+  static Gate z(Qubit q) { return unary(GateKind::kZ, q); }
+  static Gate h(Qubit q) { return unary(GateKind::kH, q); }
+  static Gate s(Qubit q) { return unary(GateKind::kS, q); }
+  static Gate sdg(Qubit q) { return unary(GateKind::kSdg, q); }
+  static Gate t(Qubit q) { return unary(GateKind::kT, q); }
+  static Gate tdg(Qubit q) { return unary(GateKind::kTdg, q); }
+  static Gate sx(Qubit q) { return unary(GateKind::kSX, q); }
+  static Gate rx(Qubit q, double theta);
+  static Gate ry(Qubit q, double theta);
+  static Gate rz(Qubit q, double theta);
+  static Gate u1(Qubit q, double lambda);
+  static Gate u2(Qubit q, double phi, double lambda);
+  static Gate u3(Qubit q, double theta, double phi, double lambda);
+  static Gate cx(Qubit control, Qubit target);
+  static Gate cz(Qubit a, Qubit b);
+  static Gate cy(Qubit control, Qubit target);
+  static Gate ch(Qubit control, Qubit target);
+  static Gate crz(Qubit control, Qubit target, double theta);
+  static Gate cu1(Qubit a, Qubit b, double lambda);
+  static Gate rzz(Qubit a, Qubit b, double theta);
+  static Gate swap(Qubit a, Qubit b);
+  static Gate ccx(Qubit control1, Qubit control2, Qubit target);
+  static Gate measure(Qubit q);
+  /// Barrier across an explicit qubit list (1..3 qubits per Gate; wider
+  /// barriers are emitted as consecutive overlapping Gate records by the
+  /// QASM frontend).
+  static Gate barrier(std::span<const Qubit> qubits);
+
+  GateKind kind() const { return kind_; }
+  int num_qubits() const { return num_qubits_; }
+  int num_params() const { return num_params_; }
+
+  Qubit qubit(int i) const {
+    CODAR_EXPECTS(i >= 0 && i < num_qubits_);
+    return qubits_[static_cast<std::size_t>(i)];
+  }
+  std::span<const Qubit> qubits() const {
+    return {qubits_.data(), static_cast<std::size_t>(num_qubits_)};
+  }
+  double param(int i) const {
+    CODAR_EXPECTS(i >= 0 && i < num_params_);
+    return params_[static_cast<std::size_t>(i)];
+  }
+  std::span<const double> params() const {
+    return {params_.data(), static_cast<std::size_t>(num_params_)};
+  }
+
+  /// True if this gate operates on qubit q.
+  bool acts_on(Qubit q) const;
+  /// True if this gate and other share at least one qubit.
+  bool overlaps(const Gate& other) const;
+
+  /// Returns a copy with each qubit q replaced by remap(q).
+  template <typename F>
+  Gate remapped(F&& remap) const {
+    Gate g = *this;
+    for (int i = 0; i < g.num_qubits_; ++i) {
+      g.qubits_[static_cast<std::size_t>(i)] =
+          remap(qubits_[static_cast<std::size_t>(i)]);
+    }
+    return g;
+  }
+
+  /// OpenQASM-like rendering, e.g. "cx q[0], q[3]" or "rz(0.5) q[2]".
+  std::string to_string() const;
+
+  /// Structural equality (kind, qubits, params exactly equal).
+  friend bool operator==(const Gate& a, const Gate& b);
+
+ private:
+  static Gate unary(GateKind kind, Qubit q);
+
+  GateKind kind_;
+  std::int8_t num_qubits_ = 0;
+  std::int8_t num_params_ = 0;
+  std::array<Qubit, kMaxQubits> qubits_{};
+  std::array<double, kMaxParams> params_{};
+};
+
+}  // namespace codar::ir

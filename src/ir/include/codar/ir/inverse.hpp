@@ -1,0 +1,25 @@
+#pragma once
+
+// Exact gate and circuit inversion. Enables mirror-circuit benchmarking
+// (C followed by C⁻¹ returns to |0...0>, a standard hardware fidelity
+// probe) and inverse-based tests. Measure and Barrier are not invertible;
+// inverting a circuit containing them throws.
+
+#include "codar/ir/circuit.hpp"
+
+namespace codar::ir {
+
+/// The exact inverse gate (same qubits): self-inverse kinds map to
+/// themselves, S/T to their daggers, rotations to negated angles,
+/// U2/U3 to the standard angle-swapped adjoints.
+Gate inverse(const Gate& g);
+
+/// The inverse circuit: inverted gates in reverse order. Throws
+/// ContractViolation if the circuit contains Measure or Barrier.
+Circuit inverse(const Circuit& circuit);
+
+/// circuit + inverse(circuit): the mirror benchmarking construction whose
+/// ideal output is exactly |0...0>.
+Circuit mirror(const Circuit& circuit);
+
+}  // namespace codar::ir

@@ -1,0 +1,26 @@
+#pragma once
+
+// Peephole circuit optimizer: a standard pre-routing cleanup pass that
+// removes identities, cancels adjacent self-inverse pairs (H·H, X·X,
+// CX·CX, S·Sdg, T·Tdg, ...) and fuses adjacent same-axis rotations
+// (RZ·RZ, CU1·CU1, ...). Gates are "adjacent" when no other gate touches
+// any of their qubits in between; cancellation re-exposes earlier gates,
+// so chains collapse in one pass.
+//
+// Semantics-preserving up to global phase (exactly phase-preserving for
+// all implemented rules); property tests check state equivalence.
+
+#include "codar/ir/circuit.hpp"
+
+namespace codar::ir {
+
+struct PeepholeStats {
+  std::size_t gates_removed = 0;  ///< From cancellations and identities.
+  std::size_t gates_fused = 0;    ///< Rotation pairs merged into one.
+};
+
+/// Runs the peephole pass; `stats` (optional) receives counters.
+Circuit peephole_optimize(const Circuit& circuit,
+                          PeepholeStats* stats = nullptr);
+
+}  // namespace codar::ir

@@ -1,0 +1,70 @@
+#pragma once
+
+// Exact gate semantics: small dense complex matrices. Serves two clients:
+// (1) the ground-truth commutation check backing CODAR's symbolic rule
+// table, and (2) the state-vector / density-matrix simulators in src/sim.
+//
+// Bit convention: for a gate with operand list [a, b, c], bit k of a local
+// basis index corresponds to operand k (operand 0 is the least significant
+// bit). The same convention applies to joint-space embeddings.
+
+#include <complex>
+#include <vector>
+
+#include "codar/ir/gate.hpp"
+
+namespace codar::ir {
+
+using Complex = std::complex<double>;
+
+/// Dense square complex matrix, row-major. Dimensions stay tiny (2..8) for
+/// gate semantics; the density-matrix simulator reuses it at larger sizes.
+class Matrix {
+ public:
+  Matrix() : dim_(0) {}
+  explicit Matrix(std::size_t dim) : dim_(dim), data_(dim * dim) {}
+
+  static Matrix identity(std::size_t dim);
+
+  std::size_t dim() const { return dim_; }
+  Complex& at(std::size_t row, std::size_t col) {
+    CODAR_EXPECTS(row < dim_ && col < dim_);
+    return data_[row * dim_ + col];
+  }
+  const Complex& at(std::size_t row, std::size_t col) const {
+    CODAR_EXPECTS(row < dim_ && col < dim_);
+    return data_[row * dim_ + col];
+  }
+
+  Matrix operator*(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+  Matrix operator+(const Matrix& rhs) const;
+  /// Conjugate transpose.
+  Matrix dagger() const;
+  /// Largest absolute entry value.
+  double max_abs() const;
+  /// True when ‖U†U − I‖_max < tol.
+  bool is_unitary(double tol = 1e-9) const;
+
+ private:
+  std::size_t dim_;
+  std::vector<Complex> data_;
+};
+
+/// Kronecker product; bit semantics: index = i_b * a.dim() + i_a, i.e. `a`
+/// occupies the low bits (matches the operand-0-is-LSB convention).
+Matrix kron(const Matrix& a, const Matrix& b);
+
+/// The unitary of a gate kind with the given parameters, in the gate-local
+/// bit convention above. Throws ContractViolation for Measure/Barrier.
+Matrix gate_unitary(GateKind kind, std::span<const double> params);
+
+/// Embeds gate g into the joint space spanned by `joint_qubits`
+/// (joint_qubits[0] = LSB). Every qubit of g must appear in joint_qubits.
+Matrix embed(const Gate& g, std::span<const Qubit> joint_qubits);
+
+/// Exact commutation test: builds the joint space of the two gates' qubit
+/// union and checks ‖AB − BA‖_max < tol. Both gates must be unitary kinds.
+bool unitaries_commute(const Gate& a, const Gate& b, double tol = 1e-9);
+
+}  // namespace codar::ir

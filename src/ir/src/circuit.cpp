@@ -1,0 +1,64 @@
+#include "codar/ir/circuit.hpp"
+
+#include <algorithm>
+
+namespace codar::ir {
+
+Circuit::Circuit(int num_qubits, std::string name)
+    : num_qubits_(num_qubits), name_(std::move(name)) {
+  CODAR_EXPECTS(num_qubits >= 0);
+}
+
+void Circuit::add(const Gate& g) {
+  for (const Qubit q : g.qubits()) {
+    CODAR_EXPECTS(q >= 0 && q < num_qubits_);
+  }
+  gates_.push_back(g);
+}
+
+void Circuit::append(const Circuit& other) {
+  CODAR_EXPECTS(other.num_qubits() <= num_qubits_);
+  for (const Gate& g : other.gates()) add(g);
+}
+
+std::size_t Circuit::two_qubit_gate_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(gates_.begin(), gates_.end(),
+                    [](const Gate& g) { return g.num_qubits() == 2; }));
+}
+
+std::size_t Circuit::swap_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(gates_.begin(), gates_.end(), [](const Gate& g) {
+        return g.kind() == GateKind::kSwap;
+      }));
+}
+
+int Circuit::used_qubit_count() const {
+  Qubit max_q = -1;
+  for (const Gate& g : gates_) {
+    for (const Qubit q : g.qubits()) max_q = std::max(max_q, q);
+  }
+  return static_cast<int>(max_q + 1);
+}
+
+Circuit Circuit::reversed() const {
+  Circuit rev(num_qubits_, name_ + "_reversed");
+  rev.gates_.assign(gates_.rbegin(), gates_.rend());
+  return rev;
+}
+
+Circuit Circuit::remapped(std::span<const Qubit> remap,
+                          int new_num_qubits) const {
+  CODAR_EXPECTS(remap.size() >= static_cast<std::size_t>(num_qubits_));
+  Circuit out(new_num_qubits, name_);
+  for (const Gate& g : gates_) {
+    out.add(g.remapped([&](Qubit q) {
+      CODAR_EXPECTS(static_cast<std::size_t>(q) < remap.size());
+      return remap[static_cast<std::size_t>(q)];
+    }));
+  }
+  return out;
+}
+
+}  // namespace codar::ir

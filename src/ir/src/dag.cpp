@@ -1,0 +1,38 @@
+#include "codar/ir/dag.hpp"
+
+#include <algorithm>
+
+namespace codar::ir {
+
+DependencyDag::DependencyDag(const Circuit& circuit) {
+  const std::size_t n = circuit.size();
+  pred_.resize(n);
+  succ_.resize(n);
+  // last_on_wire[q] = index of the most recent earlier gate touching q.
+  std::vector<int> last_on_wire(static_cast<std::size_t>(circuit.num_qubits()),
+                                -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Gate& g = circuit.gate(i);
+    for (const Qubit q : g.qubits()) {
+      const int prev = last_on_wire[static_cast<std::size_t>(q)];
+      if (prev >= 0) {
+        auto& preds = pred_[i];
+        if (std::find(preds.begin(), preds.end(), prev) == preds.end()) {
+          preds.push_back(prev);
+          succ_[static_cast<std::size_t>(prev)].push_back(static_cast<int>(i));
+        }
+      }
+      last_on_wire[static_cast<std::size_t>(q)] = static_cast<int>(i);
+    }
+  }
+}
+
+std::vector<int> DependencyDag::roots() const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < pred_.size(); ++i) {
+    if (pred_[i].empty()) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+}  // namespace codar::ir

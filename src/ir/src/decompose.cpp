@@ -1,0 +1,54 @@
+#include "codar/ir/decompose.hpp"
+
+namespace codar::ir {
+
+Circuit decompose_toffoli(const Circuit& circuit) {
+  Circuit out(circuit.num_qubits(), circuit.name());
+  for (const Gate& g : circuit.gates()) {
+    if (g.kind() != GateKind::kCCX) {
+      out.add(g);
+      continue;
+    }
+    const Qubit a = g.qubit(0), b = g.qubit(1), c = g.qubit(2);
+    out.h(c);
+    out.cx(b, c);
+    out.tdg(c);
+    out.cx(a, c);
+    out.t(c);
+    out.cx(b, c);
+    out.tdg(c);
+    out.cx(a, c);
+    out.t(b);
+    out.t(c);
+    out.h(c);
+    out.cx(a, b);
+    out.t(a);
+    out.tdg(b);
+    out.cx(a, b);
+  }
+  return out;
+}
+
+Circuit decompose_swaps(const Circuit& circuit) {
+  Circuit out(circuit.num_qubits(), circuit.name());
+  for (const Gate& g : circuit.gates()) {
+    if (g.kind() != GateKind::kSwap) {
+      out.add(g);
+      continue;
+    }
+    const Qubit a = g.qubit(0), b = g.qubit(1);
+    out.cx(a, b);
+    out.cx(b, a);
+    out.cx(a, b);
+  }
+  return out;
+}
+
+bool is_two_qubit_lowered(const Circuit& circuit) {
+  for (const Gate& g : circuit.gates()) {
+    if (g.kind() != GateKind::kBarrier && g.num_qubits() > 2) return false;
+  }
+  return true;
+}
+
+}  // namespace codar::ir

@@ -1,0 +1,242 @@
+#include "codar/ir/gate.hpp"
+
+#include <sstream>
+
+namespace codar::ir {
+
+namespace {
+
+constexpr GateInfo kInfoTable[kGateKindCount] = {
+    {"id", 1, 0},      // kI
+    {"x", 1, 0},       // kX
+    {"y", 1, 0},       // kY
+    {"z", 1, 0},       // kZ
+    {"h", 1, 0},       // kH
+    {"s", 1, 0},       // kS
+    {"sdg", 1, 0},     // kSdg
+    {"t", 1, 0},       // kT
+    {"tdg", 1, 0},     // kTdg
+    {"sx", 1, 0},      // kSX
+    {"rx", 1, 1},      // kRX
+    {"ry", 1, 1},      // kRY
+    {"rz", 1, 1},      // kRZ
+    {"u1", 1, 1},      // kU1
+    {"u2", 1, 2},      // kU2
+    {"u3", 1, 3},      // kU3
+    {"cx", 2, 0},      // kCX
+    {"cz", 2, 0},      // kCZ
+    {"cy", 2, 0},      // kCY
+    {"ch", 2, 0},      // kCH
+    {"crz", 2, 1},     // kCRZ
+    {"cu1", 2, 1},     // kCU1
+    {"rzz", 2, 1},     // kRZZ
+    {"swap", 2, 0},    // kSwap
+    {"ccx", 3, 0},     // kCCX
+    {"measure", 1, 0}, // kMeasure
+    {"barrier", -1, 0} // kBarrier
+};
+
+}  // namespace
+
+const GateInfo& gate_info(GateKind kind) {
+  const auto idx = static_cast<std::size_t>(kind);
+  CODAR_EXPECTS(idx < kGateKindCount);
+  return kInfoTable[idx];
+}
+
+bool is_diagonal(GateKind kind) {
+  switch (kind) {
+    case GateKind::kI:
+    case GateKind::kZ:
+    case GateKind::kS:
+    case GateKind::kSdg:
+    case GateKind::kT:
+    case GateKind::kTdg:
+    case GateKind::kRZ:
+    case GateKind::kU1:
+    case GateKind::kCZ:
+    case GateKind::kCRZ:
+    case GateKind::kCU1:
+    case GateKind::kRZZ:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_x_axis(GateKind kind) {
+  switch (kind) {
+    case GateKind::kI:
+    case GateKind::kX:
+    case GateKind::kSX:
+    case GateKind::kRX:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_two_qubit(GateKind kind) {
+  return gate_info(kind).num_qubits == 2;
+}
+
+bool is_unitary(GateKind kind) {
+  return kind != GateKind::kMeasure && kind != GateKind::kBarrier;
+}
+
+Gate::Gate(GateKind kind, std::span<const Qubit> qubits,
+           std::span<const double> params)
+    : kind_(kind) {
+  const GateInfo& info = gate_info(kind);
+  if (info.num_qubits >= 0) {
+    CODAR_EXPECTS(qubits.size() == static_cast<std::size_t>(info.num_qubits));
+  } else {
+    CODAR_EXPECTS(!qubits.empty() && qubits.size() <= kMaxQubits);
+  }
+  CODAR_EXPECTS(params.size() == static_cast<std::size_t>(info.num_params));
+  num_qubits_ = static_cast<std::int8_t>(qubits.size());
+  num_params_ = static_cast<std::int8_t>(params.size());
+  for (std::size_t i = 0; i < qubits.size(); ++i) {
+    CODAR_EXPECTS(qubits[i] >= 0);
+    for (std::size_t j = 0; j < i; ++j) CODAR_EXPECTS(qubits[i] != qubits[j]);
+    qubits_[i] = qubits[i];
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) params_[i] = params[i];
+}
+
+Gate Gate::unary(GateKind kind, Qubit q) {
+  const Qubit qs[] = {q};
+  return Gate(kind, qs);
+}
+
+Gate Gate::rx(Qubit q, double theta) {
+  const Qubit qs[] = {q};
+  const double ps[] = {theta};
+  return Gate(GateKind::kRX, qs, ps);
+}
+Gate Gate::ry(Qubit q, double theta) {
+  const Qubit qs[] = {q};
+  const double ps[] = {theta};
+  return Gate(GateKind::kRY, qs, ps);
+}
+Gate Gate::rz(Qubit q, double theta) {
+  const Qubit qs[] = {q};
+  const double ps[] = {theta};
+  return Gate(GateKind::kRZ, qs, ps);
+}
+Gate Gate::u1(Qubit q, double lambda) {
+  const Qubit qs[] = {q};
+  const double ps[] = {lambda};
+  return Gate(GateKind::kU1, qs, ps);
+}
+Gate Gate::u2(Qubit q, double phi, double lambda) {
+  const Qubit qs[] = {q};
+  const double ps[] = {phi, lambda};
+  return Gate(GateKind::kU2, qs, ps);
+}
+Gate Gate::u3(Qubit q, double theta, double phi, double lambda) {
+  const Qubit qs[] = {q};
+  const double ps[] = {theta, phi, lambda};
+  return Gate(GateKind::kU3, qs, ps);
+}
+Gate Gate::cx(Qubit control, Qubit target) {
+  const Qubit qs[] = {control, target};
+  return Gate(GateKind::kCX, qs);
+}
+Gate Gate::cz(Qubit a, Qubit b) {
+  const Qubit qs[] = {a, b};
+  return Gate(GateKind::kCZ, qs);
+}
+Gate Gate::cy(Qubit control, Qubit target) {
+  const Qubit qs[] = {control, target};
+  return Gate(GateKind::kCY, qs);
+}
+Gate Gate::ch(Qubit control, Qubit target) {
+  const Qubit qs[] = {control, target};
+  return Gate(GateKind::kCH, qs);
+}
+Gate Gate::crz(Qubit control, Qubit target, double theta) {
+  const Qubit qs[] = {control, target};
+  const double ps[] = {theta};
+  return Gate(GateKind::kCRZ, qs, ps);
+}
+Gate Gate::cu1(Qubit a, Qubit b, double lambda) {
+  const Qubit qs[] = {a, b};
+  const double ps[] = {lambda};
+  return Gate(GateKind::kCU1, qs, ps);
+}
+Gate Gate::rzz(Qubit a, Qubit b, double theta) {
+  const Qubit qs[] = {a, b};
+  const double ps[] = {theta};
+  return Gate(GateKind::kRZZ, qs, ps);
+}
+Gate Gate::swap(Qubit a, Qubit b) {
+  const Qubit qs[] = {a, b};
+  return Gate(GateKind::kSwap, qs);
+}
+Gate Gate::ccx(Qubit control1, Qubit control2, Qubit target) {
+  const Qubit qs[] = {control1, control2, target};
+  return Gate(GateKind::kCCX, qs);
+}
+Gate Gate::measure(Qubit q) {
+  const Qubit qs[] = {q};
+  return Gate(GateKind::kMeasure, qs);
+}
+Gate Gate::barrier(std::span<const Qubit> qubits) {
+  return Gate(GateKind::kBarrier, qubits);
+}
+
+bool Gate::acts_on(Qubit q) const {
+  for (int i = 0; i < num_qubits_; ++i) {
+    if (qubits_[static_cast<std::size_t>(i)] == q) return true;
+  }
+  return false;
+}
+
+bool Gate::overlaps(const Gate& other) const {
+  for (int i = 0; i < num_qubits_; ++i) {
+    if (other.acts_on(qubits_[static_cast<std::size_t>(i)])) return true;
+  }
+  return false;
+}
+
+std::string Gate::to_string() const {
+  std::ostringstream oss;
+  oss << gate_info(kind_).name;
+  if (num_params_ > 0) {
+    oss << '(';
+    for (int i = 0; i < num_params_; ++i) {
+      if (i != 0) oss << ", ";
+      oss << params_[static_cast<std::size_t>(i)];
+    }
+    oss << ')';
+  }
+  oss << ' ';
+  for (int i = 0; i < num_qubits_; ++i) {
+    if (i != 0) oss << ", ";
+    oss << "q[" << qubits_[static_cast<std::size_t>(i)] << ']';
+  }
+  return oss.str();
+}
+
+bool operator==(const Gate& a, const Gate& b) {
+  if (a.kind_ != b.kind_ || a.num_qubits_ != b.num_qubits_ ||
+      a.num_params_ != b.num_params_) {
+    return false;
+  }
+  for (int i = 0; i < a.num_qubits_; ++i) {
+    if (a.qubits_[static_cast<std::size_t>(i)] !=
+        b.qubits_[static_cast<std::size_t>(i)]) {
+      return false;
+    }
+  }
+  for (int i = 0; i < a.num_params_; ++i) {
+    if (a.params_[static_cast<std::size_t>(i)] !=
+        b.params_[static_cast<std::size_t>(i)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace codar::ir

@@ -1,0 +1,83 @@
+#include "codar/ir/inverse.hpp"
+
+#include <numbers>
+
+namespace codar::ir {
+
+Gate inverse(const Gate& g) {
+  CODAR_EXPECTS(is_unitary(g.kind()));
+  switch (g.kind()) {
+    // Self-inverse kinds.
+    case GateKind::kI:
+    case GateKind::kX:
+    case GateKind::kY:
+    case GateKind::kZ:
+    case GateKind::kH:
+    case GateKind::kCX:
+    case GateKind::kCZ:
+    case GateKind::kCY:
+    case GateKind::kCH:
+    case GateKind::kSwap:
+    case GateKind::kCCX:
+      return g;
+    // Adjoint partners.
+    case GateKind::kS:
+      return Gate(GateKind::kSdg, g.qubits());
+    case GateKind::kSdg:
+      return Gate(GateKind::kS, g.qubits());
+    case GateKind::kT:
+      return Gate(GateKind::kTdg, g.qubits());
+    case GateKind::kTdg:
+      return Gate(GateKind::kT, g.qubits());
+    case GateKind::kSX: {
+      // SX† = SX · X ... no single kind; express as RX(-pi/2) up to global
+      // phase, which is exact for state evolution.
+      const double params[] = {-std::numbers::pi / 2.0};
+      return Gate(GateKind::kRX, g.qubits(), params);
+    }
+    // Negated-angle rotations.
+    case GateKind::kRX:
+    case GateKind::kRY:
+    case GateKind::kRZ:
+    case GateKind::kU1:
+    case GateKind::kCRZ:
+    case GateKind::kCU1:
+    case GateKind::kRZZ: {
+      const double params[] = {-g.param(0)};
+      return Gate(g.kind(), g.qubits(), params);
+    }
+    case GateKind::kU2: {
+      // u2(phi, lambda) = u3(pi/2, phi, lambda);
+      // u3(t, p, l)^-1 = u3(-t, -l, -p).
+      const double params[] = {-std::numbers::pi / 2.0, -g.param(1),
+                               -g.param(0)};
+      return Gate(GateKind::kU3, g.qubits(), params);
+    }
+    case GateKind::kU3: {
+      const double params[] = {-g.param(0), -g.param(2), -g.param(1)};
+      return Gate(GateKind::kU3, g.qubits(), params);
+    }
+    case GateKind::kMeasure:
+    case GateKind::kBarrier:
+      break;
+  }
+  throw ContractViolation("inverse: non-invertible gate kind");
+}
+
+Circuit inverse(const Circuit& circuit) {
+  Circuit out(circuit.num_qubits(), circuit.name() + "_inv");
+  for (std::size_t i = circuit.size(); i-- > 0;) {
+    out.add(inverse(circuit.gate(i)));
+  }
+  return out;
+}
+
+Circuit mirror(const Circuit& circuit) {
+  Circuit out(circuit.num_qubits(), circuit.name() + "_mirror");
+  for (const Gate& g : circuit.gates()) out.add(g);
+  const Circuit inv = inverse(circuit);
+  for (const Gate& g : inv.gates()) out.add(g);
+  return out;
+}
+
+}  // namespace codar::ir

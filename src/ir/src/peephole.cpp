@@ -1,0 +1,194 @@
+#include "codar/ir/peephole.hpp"
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+namespace codar::ir {
+
+namespace {
+
+constexpr double kAngleEps = 1e-12;
+
+/// Self-inverse kinds that cancel against an identical adjacent copy.
+bool is_self_inverse(GateKind kind) {
+  switch (kind) {
+    case GateKind::kX:
+    case GateKind::kY:
+    case GateKind::kZ:
+    case GateKind::kH:
+    case GateKind::kCX:
+    case GateKind::kCZ:
+    case GateKind::kCY:
+    case GateKind::kCH:
+    case GateKind::kSwap:
+    case GateKind::kCCX:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Kinds whose operand order does not matter (symmetric unitaries).
+bool is_symmetric(GateKind kind) {
+  return kind == GateKind::kCZ || kind == GateKind::kCU1 ||
+         kind == GateKind::kRZZ || kind == GateKind::kSwap;
+}
+
+bool same_operands(const Gate& a, const Gate& b) {
+  if (a.num_qubits() != b.num_qubits()) return false;
+  for (int i = 0; i < a.num_qubits(); ++i) {
+    if (a.qubit(i) != b.qubit(i)) return false;
+  }
+  return true;
+}
+
+bool same_support(const Gate& a, const Gate& b) {
+  if (a.num_qubits() != b.num_qubits()) return false;
+  for (int i = 0; i < a.num_qubits(); ++i) {
+    if (!b.acts_on(a.qubit(i))) return false;
+  }
+  return true;
+}
+
+/// True when a and b are exact inverses of each other.
+bool cancels(const Gate& a, const Gate& b) {
+  const GateKind ka = a.kind(), kb = b.kind();
+  if (is_self_inverse(ka) && ka == kb) {
+    return is_symmetric(ka) ? same_support(a, b) : same_operands(a, b);
+  }
+  // Adjoint pairs.
+  auto adjoint_pair = [&](GateKind x, GateKind y) {
+    return (ka == x && kb == y) || (ka == y && kb == x);
+  };
+  if ((adjoint_pair(GateKind::kS, GateKind::kSdg) ||
+       adjoint_pair(GateKind::kT, GateKind::kTdg)) &&
+      same_operands(a, b)) {
+    return true;
+  }
+  return false;
+}
+
+/// Fusable rotation families: returns the merged gate, or nullopt.
+std::optional<Gate> fuse(const Gate& a, const Gate& b) {
+  const GateKind kind = a.kind();
+  if (kind != b.kind() || a.num_params() != 1 || b.num_params() != 1) {
+    return std::nullopt;
+  }
+  switch (kind) {
+    case GateKind::kRX:
+    case GateKind::kRY:
+    case GateKind::kRZ:
+    case GateKind::kU1:
+    case GateKind::kCRZ:
+      if (!same_operands(a, b)) return std::nullopt;
+      break;
+    case GateKind::kCU1:
+    case GateKind::kRZZ:
+      if (!same_support(a, b)) return std::nullopt;
+      break;
+    default:
+      return std::nullopt;
+  }
+  const double angle = a.param(0) + b.param(0);
+  const double params[] = {angle};
+  return Gate(kind, a.qubits(), params);
+}
+
+bool is_zero_rotation(const Gate& g) {
+  return g.num_params() == 1 && std::abs(g.param(0)) < kAngleEps &&
+         (g.kind() == GateKind::kRX || g.kind() == GateKind::kRY ||
+          g.kind() == GateKind::kRZ || g.kind() == GateKind::kU1 ||
+          g.kind() == GateKind::kCRZ || g.kind() == GateKind::kCU1 ||
+          g.kind() == GateKind::kRZZ);
+}
+
+}  // namespace
+
+Circuit peephole_optimize(const Circuit& circuit, PeepholeStats* stats) {
+  PeepholeStats local;
+  std::vector<Gate> surviving;
+  surviving.reserve(circuit.size());
+  // last_on_wire[q] = index into `surviving` of the latest survivor on q,
+  // or -1. A candidate pair must be the mutual latest on *all* its wires.
+  std::vector<int> last_on_wire(
+      static_cast<std::size_t>(circuit.num_qubits()), -1);
+
+  auto latest_common = [&](const Gate& g) -> int {
+    int idx = -1;
+    for (const Qubit q : g.qubits()) {
+      const int last = last_on_wire[static_cast<std::size_t>(q)];
+      if (last < 0) return -1;
+      if (idx < 0) {
+        idx = last;
+      } else if (idx != last) {
+        return -1;
+      }
+    }
+    // The partner must not touch wires outside g's support (otherwise
+    // removing it would also need those wires re-examined).
+    if (idx >= 0 &&
+        surviving[static_cast<std::size_t>(idx)].num_qubits() !=
+            g.num_qubits()) {
+      return -1;
+    }
+    return idx;
+  };
+
+  auto rebuild_wires = [&]() {
+    std::fill(last_on_wire.begin(), last_on_wire.end(), -1);
+    for (std::size_t i = 0; i < surviving.size(); ++i) {
+      for (const Qubit q : surviving[i].qubits()) {
+        last_on_wire[static_cast<std::size_t>(q)] = static_cast<int>(i);
+      }
+    }
+  };
+
+  for (const Gate& next : circuit.gates()) {
+    Gate g = next;
+    // Drop identities and zero rotations outright.
+    if (g.kind() == GateKind::kI || is_zero_rotation(g)) {
+      ++local.gates_removed;
+      continue;
+    }
+    bool absorbed = false;
+    for (;;) {
+      const int partner = latest_common(g);
+      if (partner < 0) break;
+      const Gate& prev = surviving[static_cast<std::size_t>(partner)];
+      if (cancels(prev, g)) {
+        surviving.erase(surviving.begin() + partner);
+        rebuild_wires();
+        local.gates_removed += 2;
+        absorbed = true;
+        break;
+      }
+      if (const auto merged = fuse(prev, g)) {
+        surviving.erase(surviving.begin() + partner);
+        rebuild_wires();
+        ++local.gates_fused;
+        if (is_zero_rotation(*merged)) {
+          ++local.gates_removed;
+          absorbed = true;
+          break;
+        }
+        g = *merged;
+        continue;  // the merged gate may cancel further back
+      }
+      break;
+    }
+    if (absorbed) continue;
+    surviving.push_back(g);
+    for (const Qubit q : g.qubits()) {
+      last_on_wire[static_cast<std::size_t>(q)] =
+          static_cast<int>(surviving.size()) - 1;
+    }
+  }
+
+  Circuit out(circuit.num_qubits(), circuit.name());
+  for (const Gate& g : surviving) out.add(g);
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace codar::ir

@@ -1,0 +1,273 @@
+#include "codar/ir/unitary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace codar::ir {
+
+namespace {
+
+constexpr Complex kI1{0.0, 1.0};
+
+Matrix make2(Complex a00, Complex a01, Complex a10, Complex a11) {
+  Matrix m(2);
+  m.at(0, 0) = a00;
+  m.at(0, 1) = a01;
+  m.at(1, 0) = a10;
+  m.at(1, 1) = a11;
+  return m;
+}
+
+Matrix diag4(Complex d0, Complex d1, Complex d2, Complex d3) {
+  Matrix m(4);
+  m.at(0, 0) = d0;
+  m.at(1, 1) = d1;
+  m.at(2, 2) = d2;
+  m.at(3, 3) = d3;
+  return m;
+}
+
+/// Controlled-U on two qubits with control = operand 0 (LSB), target =
+/// operand 1. Local index = c + 2*t.
+Matrix controlled(const Matrix& u) {
+  CODAR_EXPECTS(u.dim() == 2);
+  Matrix m(4);
+  // Control bit 0: identity on target (indices 0 = |c0 t0>, 2 = |c0 t1>).
+  m.at(0, 0) = 1.0;
+  m.at(2, 2) = 1.0;
+  // Control bit 1: U acts on target bit (indices 1 = |c1 t0>, 3 = |c1 t1>).
+  m.at(1, 1) = u.at(0, 0);
+  m.at(1, 3) = u.at(0, 1);
+  m.at(3, 1) = u.at(1, 0);
+  m.at(3, 3) = u.at(1, 1);
+  return m;
+}
+
+Matrix u3_matrix(double theta, double phi, double lambda) {
+  const double c = std::cos(theta / 2.0);
+  const double s = std::sin(theta / 2.0);
+  return make2(c, -std::exp(kI1 * lambda) * s, std::exp(kI1 * phi) * s,
+               std::exp(kI1 * (phi + lambda)) * c);
+}
+
+}  // namespace
+
+Matrix Matrix::identity(std::size_t dim) {
+  Matrix m(dim);
+  for (std::size_t i = 0; i < dim; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  CODAR_EXPECTS(dim_ == rhs.dim_);
+  Matrix out(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    for (std::size_t k = 0; k < dim_; ++k) {
+      const Complex aik = data_[i * dim_ + k];
+      if (aik == Complex{}) continue;
+      for (std::size_t j = 0; j < dim_; ++j) {
+        out.data_[i * dim_ + j] += aik * rhs.data_[k * dim_ + j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  CODAR_EXPECTS(dim_ == rhs.dim_);
+  Matrix out(dim_);
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    out.data_[i] = data_[i] - rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  CODAR_EXPECTS(dim_ == rhs.dim_);
+  Matrix out(dim_);
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    out.data_[i] = data_[i] + rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::dagger() const {
+  Matrix out(dim_);
+  for (std::size_t i = 0; i < dim_; ++i)
+    for (std::size_t j = 0; j < dim_; ++j)
+      out.at(j, i) = std::conj(at(i, j));
+  return out;
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (const Complex& c : data_) m = std::max(m, std::abs(c));
+  return m;
+}
+
+bool Matrix::is_unitary(double tol) const {
+  return ((dagger() * *this) - Matrix::identity(dim_)).max_abs() < tol;
+}
+
+Matrix kron(const Matrix& a, const Matrix& b) {
+  Matrix out(a.dim() * b.dim());
+  for (std::size_t ib = 0; ib < b.dim(); ++ib)
+    for (std::size_t jb = 0; jb < b.dim(); ++jb)
+      for (std::size_t ia = 0; ia < a.dim(); ++ia)
+        for (std::size_t ja = 0; ja < a.dim(); ++ja)
+          out.at(ib * a.dim() + ia, jb * a.dim() + ja) =
+              a.at(ia, ja) * b.at(ib, jb);
+  return out;
+}
+
+Matrix gate_unitary(GateKind kind, std::span<const double> params) {
+  using std::numbers::pi;
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  auto p = [&](std::size_t i) {
+    CODAR_EXPECTS(i < params.size());
+    return params[i];
+  };
+  switch (kind) {
+    case GateKind::kI:
+      return Matrix::identity(2);
+    case GateKind::kX:
+      return make2(0, 1, 1, 0);
+    case GateKind::kY:
+      return make2(0, -kI1, kI1, 0);
+    case GateKind::kZ:
+      return make2(1, 0, 0, -1);
+    case GateKind::kH:
+      return make2(inv_sqrt2, inv_sqrt2, inv_sqrt2, -inv_sqrt2);
+    case GateKind::kS:
+      return make2(1, 0, 0, kI1);
+    case GateKind::kSdg:
+      return make2(1, 0, 0, -kI1);
+    case GateKind::kT:
+      return make2(1, 0, 0, std::exp(kI1 * (pi / 4.0)));
+    case GateKind::kTdg:
+      return make2(1, 0, 0, std::exp(-kI1 * (pi / 4.0)));
+    case GateKind::kSX:
+      return make2(Complex(0.5, 0.5), Complex(0.5, -0.5), Complex(0.5, -0.5),
+                   Complex(0.5, 0.5));
+    case GateKind::kRX: {
+      const double c = std::cos(p(0) / 2.0), s = std::sin(p(0) / 2.0);
+      return make2(c, -kI1 * s, -kI1 * s, c);
+    }
+    case GateKind::kRY: {
+      const double c = std::cos(p(0) / 2.0), s = std::sin(p(0) / 2.0);
+      return make2(c, -s, s, c);
+    }
+    case GateKind::kRZ:
+      return make2(std::exp(-kI1 * (p(0) / 2.0)), 0, 0,
+                   std::exp(kI1 * (p(0) / 2.0)));
+    case GateKind::kU1:
+      return make2(1, 0, 0, std::exp(kI1 * p(0)));
+    case GateKind::kU2:
+      return u3_matrix(pi / 2.0, p(0), p(1));
+    case GateKind::kU3:
+      return u3_matrix(p(0), p(1), p(2));
+    case GateKind::kCX:
+      return controlled(gate_unitary(GateKind::kX, {}));
+    case GateKind::kCZ:
+      return diag4(1, 1, 1, -1);
+    case GateKind::kCY:
+      return controlled(gate_unitary(GateKind::kY, {}));
+    case GateKind::kCH:
+      return controlled(gate_unitary(GateKind::kH, {}));
+    case GateKind::kCRZ:
+      return controlled(gate_unitary(GateKind::kRZ, params));
+    case GateKind::kCU1:
+      return diag4(1, 1, 1, std::exp(kI1 * p(0)));
+    case GateKind::kRZZ: {
+      const Complex e_minus = std::exp(-kI1 * (p(0) / 2.0));
+      const Complex e_plus = std::exp(kI1 * (p(0) / 2.0));
+      return diag4(e_minus, e_plus, e_plus, e_minus);
+    }
+    case GateKind::kSwap: {
+      Matrix m(4);
+      m.at(0, 0) = 1.0;
+      m.at(1, 2) = 1.0;  // |10> (a=1,b=0) -> |01>
+      m.at(2, 1) = 1.0;
+      m.at(3, 3) = 1.0;
+      return m;
+    }
+    case GateKind::kCCX: {
+      // Controls = bits 0,1; target = bit 2.
+      Matrix m = Matrix::identity(8);
+      // |c1=1, c2=1, t=0> = index 3 <-> |c1=1, c2=1, t=1> = index 7.
+      m.at(3, 3) = 0.0;
+      m.at(7, 7) = 0.0;
+      m.at(3, 7) = 1.0;
+      m.at(7, 3) = 1.0;
+      return m;
+    }
+    case GateKind::kMeasure:
+    case GateKind::kBarrier:
+      break;
+  }
+  throw ContractViolation("gate_unitary: non-unitary gate kind");
+}
+
+Matrix embed(const Gate& g, std::span<const Qubit> joint_qubits) {
+  CODAR_EXPECTS(is_unitary(g.kind()));
+  const std::size_t k = joint_qubits.size();
+  CODAR_EXPECTS(k <= 16);
+  // Map each operand of g to its bit position within the joint space.
+  std::vector<int> bit_of_operand(static_cast<std::size_t>(g.num_qubits()),
+                                  -1);
+  for (int i = 0; i < g.num_qubits(); ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      if (joint_qubits[j] == g.qubit(i)) {
+        bit_of_operand[static_cast<std::size_t>(i)] = static_cast<int>(j);
+      }
+    }
+    CODAR_EXPECTS(bit_of_operand[static_cast<std::size_t>(i)] >= 0);
+  }
+  const Matrix u = gate_unitary(g.kind(), g.params());
+  const std::size_t dim = std::size_t{1} << k;
+  std::size_t gate_mask = 0;
+  for (const int b : bit_of_operand) gate_mask |= (std::size_t{1} << b);
+
+  auto local_index = [&](std::size_t joint) {
+    std::size_t local = 0;
+    for (int i = 0; i < g.num_qubits(); ++i) {
+      const int b = bit_of_operand[static_cast<std::size_t>(i)];
+      if ((joint >> b) & 1U) local |= (std::size_t{1} << i);
+    }
+    return local;
+  };
+
+  Matrix out(dim);
+  for (std::size_t col = 0; col < dim; ++col) {
+    const std::size_t rest = col & ~gate_mask;
+    const std::size_t lc = local_index(col);
+    for (std::size_t lr = 0; lr < u.dim(); ++lr) {
+      const Complex v = u.at(lr, lc);
+      if (v == Complex{}) continue;
+      // Scatter local row bits back into the joint index.
+      std::size_t row = rest;
+      for (int i = 0; i < g.num_qubits(); ++i) {
+        if ((lr >> i) & 1U) {
+          row |= (std::size_t{1}
+                  << bit_of_operand[static_cast<std::size_t>(i)]);
+        }
+      }
+      out.at(row, col) = v;
+    }
+  }
+  return out;
+}
+
+bool unitaries_commute(const Gate& a, const Gate& b, double tol) {
+  CODAR_EXPECTS(is_unitary(a.kind()) && is_unitary(b.kind()));
+  // Joint space = union of both gates' qubits, in deterministic order.
+  std::vector<Qubit> joint(a.qubits().begin(), a.qubits().end());
+  for (const Qubit q : b.qubits()) {
+    if (std::find(joint.begin(), joint.end(), q) == joint.end())
+      joint.push_back(q);
+  }
+  const Matrix ua = embed(a, joint);
+  const Matrix ub = embed(b, joint);
+  return ((ua * ub) - (ub * ua)).max_abs() < tol;
+}
+
+}  // namespace codar::ir

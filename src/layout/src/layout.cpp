@@ -1,0 +1,57 @@
+#include "codar/layout/layout.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "codar/common/rng.hpp"
+
+namespace codar::layout {
+
+Layout::Layout(int num_logical, int num_physical) {
+  CODAR_EXPECTS(num_logical >= 0);
+  CODAR_EXPECTS(num_physical >= num_logical);
+  l2p_.resize(static_cast<std::size_t>(num_logical));
+  p2l_.assign(static_cast<std::size_t>(num_physical), -1);
+  for (Qubit q = 0; q < num_logical; ++q) {
+    l2p_[static_cast<std::size_t>(q)] = q;
+    p2l_[static_cast<std::size_t>(q)] = q;
+  }
+}
+
+Layout Layout::from_l2p(const std::vector<Qubit>& l2p, int num_physical) {
+  CODAR_EXPECTS(l2p.size() <= static_cast<std::size_t>(num_physical));
+  Layout out;
+  out.l2p_ = l2p;
+  out.p2l_.assign(static_cast<std::size_t>(num_physical), -1);
+  for (std::size_t q = 0; q < l2p.size(); ++q) {
+    const Qubit p = l2p[q];
+    CODAR_EXPECTS(p >= 0 && p < num_physical);
+    CODAR_EXPECTS(out.p2l_[static_cast<std::size_t>(p)] == -1);
+    out.p2l_[static_cast<std::size_t>(p)] = static_cast<Qubit>(q);
+  }
+  return out;
+}
+
+void Layout::swap_physical(Qubit a, Qubit b) {
+  CODAR_EXPECTS(a >= 0 && a < num_physical());
+  CODAR_EXPECTS(b >= 0 && b < num_physical());
+  CODAR_EXPECTS(a != b);
+  const Qubit la = p2l_[static_cast<std::size_t>(a)];
+  const Qubit lb = p2l_[static_cast<std::size_t>(b)];
+  std::swap(p2l_[static_cast<std::size_t>(a)],
+            p2l_[static_cast<std::size_t>(b)]);
+  if (la >= 0) l2p_[static_cast<std::size_t>(la)] = b;
+  if (lb >= 0) l2p_[static_cast<std::size_t>(lb)] = a;
+}
+
+Layout random_layout(int num_logical, int num_physical, std::uint64_t seed) {
+  CODAR_EXPECTS(num_physical >= num_logical);
+  std::vector<Qubit> all(static_cast<std::size_t>(num_physical));
+  std::iota(all.begin(), all.end(), 0);
+  Rng rng(seed);
+  std::shuffle(all.begin(), all.end(), rng.engine());
+  all.resize(static_cast<std::size_t>(num_logical));
+  return Layout::from_l2p(all, num_physical);
+}
+
+}  // namespace codar::layout

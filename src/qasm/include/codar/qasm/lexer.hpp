@@ -1,0 +1,59 @@
+#pragma once
+
+// Hand-written lexer for the OpenQASM 2.0 subset the parser accepts.
+// Produces a flat token stream with line/column positions for diagnostics.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace codar::qasm {
+
+enum class TokenKind {
+  kIdentifier,   // h, cx, q, myreg, pi is lexed as identifier
+  kNumber,       // integer or real literal, value in Token::number
+  kString,       // "qelib1.inc"
+  kLParen,       // (
+  kRParen,       // )
+  kLBracket,     // [
+  kRBracket,     // ]
+  kLBrace,       // {
+  kRBrace,       // }
+  kSemicolon,    // ;
+  kComma,        // ,
+  kArrow,        // ->
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kCaret,        // ^ (power)
+  kEqualEqual,   // ==
+  kEof,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;   ///< Raw spelling (identifier name / string contents).
+  double number = 0;  ///< Value for kNumber tokens.
+  int line = 0;
+  int column = 0;
+};
+
+/// Thrown on any lexical or syntactic error; carries a positioned message.
+class QasmError : public std::runtime_error {
+ public:
+  QasmError(const std::string& message, int line, int column);
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// Tokenizes the whole source. Comments (// ...) and whitespace are
+/// skipped. Throws QasmError on an unrecognized character.
+std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace codar::qasm

@@ -1,0 +1,128 @@
+#include "codar/qasm/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace codar::qasm {
+
+QasmError::QasmError(const std::string& message, int line, int column)
+    : std::runtime_error("qasm:" + std::to_string(line) + ":" +
+                         std::to_string(column) + ": " + message),
+      line_(line),
+      column_(column) {}
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_digit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  int line = 1;
+  int col = 1;
+
+  auto advance = [&](std::size_t n = 1) {
+    for (std::size_t k = 0; k < n && i < source.size(); ++k) {
+      if (source[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+  auto push = [&](TokenKind kind, std::string text, int at_line, int at_col,
+                  double number = 0.0) {
+    tokens.push_back(Token{kind, std::move(text), number, at_line, at_col});
+  };
+
+  while (i < source.size()) {
+    const char c = source[i];
+    const int tl = line, tc = col;
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      continue;
+    }
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+      while (i < source.size() && source[i] != '\n') advance();
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::size_t start = i;
+      while (i < source.size() && is_ident_char(source[i])) advance();
+      push(TokenKind::kIdentifier,
+           std::string(source.substr(start, i - start)), tl, tc);
+      continue;
+    }
+    if (is_digit(c) || (c == '.' && i + 1 < source.size() &&
+                        is_digit(source[i + 1]))) {
+      std::size_t start = i;
+      while (i < source.size() &&
+             (is_digit(source[i]) || source[i] == '.' || source[i] == 'e' ||
+              source[i] == 'E' ||
+              ((source[i] == '+' || source[i] == '-') && i > start &&
+               (source[i - 1] == 'e' || source[i - 1] == 'E')))) {
+        advance();
+      }
+      const std::string text(source.substr(start, i - start));
+      push(TokenKind::kNumber, text, tl, tc, std::strtod(text.c_str(), nullptr));
+      continue;
+    }
+    if (c == '"') {
+      advance();
+      std::size_t start = i;
+      while (i < source.size() && source[i] != '"') advance();
+      if (i >= source.size()) throw QasmError("unterminated string", tl, tc);
+      push(TokenKind::kString, std::string(source.substr(start, i - start)),
+           tl, tc);
+      advance();  // closing quote
+      continue;
+    }
+    if (c == '-' && i + 1 < source.size() && source[i + 1] == '>') {
+      push(TokenKind::kArrow, "->", tl, tc);
+      advance(2);
+      continue;
+    }
+    if (c == '=' && i + 1 < source.size() && source[i + 1] == '=') {
+      push(TokenKind::kEqualEqual, "==", tl, tc);
+      advance(2);
+      continue;
+    }
+    TokenKind kind;
+    switch (c) {
+      case '(': kind = TokenKind::kLParen; break;
+      case ')': kind = TokenKind::kRParen; break;
+      case '[': kind = TokenKind::kLBracket; break;
+      case ']': kind = TokenKind::kRBracket; break;
+      case '{': kind = TokenKind::kLBrace; break;
+      case '}': kind = TokenKind::kRBrace; break;
+      case ';': kind = TokenKind::kSemicolon; break;
+      case ',': kind = TokenKind::kComma; break;
+      case '+': kind = TokenKind::kPlus; break;
+      case '-': kind = TokenKind::kMinus; break;
+      case '*': kind = TokenKind::kStar; break;
+      case '/': kind = TokenKind::kSlash; break;
+      case '^': kind = TokenKind::kCaret; break;
+      default:
+        throw QasmError(std::string("unexpected character '") + c + "'", tl,
+                        tc);
+    }
+    push(kind, std::string(1, c), tl, tc);
+    advance();
+  }
+  push(TokenKind::kEof, "", line, col);
+  return tokens;
+}
+
+}  // namespace codar::qasm

@@ -1,0 +1,44 @@
+#include "codar/qasm/writer.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace codar::qasm {
+
+std::string to_qasm(const ir::Circuit& circuit) {
+  std::ostringstream out;
+  out << "OPENQASM 2.0;\n";
+  out << "include \"qelib1.inc\";\n";
+  out << "qreg q[" << circuit.num_qubits() << "];\n";
+  bool has_measure = false;
+  for (const ir::Gate& g : circuit.gates()) {
+    if (g.kind() == ir::GateKind::kMeasure) has_measure = true;
+  }
+  if (has_measure) out << "creg c[" << circuit.num_qubits() << "];\n";
+
+  out << std::setprecision(17);
+  for (const ir::Gate& g : circuit.gates()) {
+    if (g.kind() == ir::GateKind::kMeasure) {
+      out << "measure q[" << g.qubit(0) << "] -> c[" << g.qubit(0) << "];\n";
+      continue;
+    }
+    out << gate_info(g.kind()).name;
+    if (g.num_params() > 0) {
+      out << '(';
+      for (int i = 0; i < g.num_params(); ++i) {
+        if (i != 0) out << ',';
+        out << g.param(i);
+      }
+      out << ')';
+    }
+    out << ' ';
+    for (int i = 0; i < g.num_qubits(); ++i) {
+      if (i != 0) out << ',';
+      out << "q[" << g.qubit(i) << ']';
+    }
+    out << ";\n";
+  }
+  return out.str();
+}
+
+}  // namespace codar::qasm

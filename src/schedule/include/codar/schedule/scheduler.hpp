@@ -1,0 +1,47 @@
+#pragma once
+
+// Duration-weighted ASAP scheduling. The paper's quality metric is the
+// *weighted depth* of the routed circuit: the makespan of an as-soon-as-
+// possible schedule in which each gate occupies its qubits for τ(gate)
+// cycles — exactly the execution-time model induced by CODAR's qubit locks.
+// Both routers' outputs are scored with this one scheduler, so the
+// comparison is apples-to-apples.
+
+#include <vector>
+
+#include "codar/arch/durations.hpp"
+#include "codar/ir/circuit.hpp"
+
+namespace codar::schedule {
+
+using arch::Duration;
+
+/// Start/finish times for one gate of the scheduled circuit.
+struct ScheduledGate {
+  std::size_t gate_index;  ///< Index into the source circuit.
+  Duration start;
+  Duration finish;
+};
+
+/// Full ASAP schedule of a circuit.
+struct Schedule {
+  std::vector<ScheduledGate> gates;
+  Duration makespan = 0;  ///< Weighted depth.
+
+  /// Number of gates executing at time t (for utilization analyses).
+  int active_gates_at(Duration t) const;
+};
+
+/// Schedules every gate as early as its qubits allow (program order,
+/// qubit-exclusivity). Barriers take 0 cycles but still synchronize.
+Schedule asap_schedule(const ir::Circuit& circuit,
+                       const arch::DurationMap& durations);
+
+/// Weighted depth = makespan of the ASAP schedule.
+Duration weighted_depth(const ir::Circuit& circuit,
+                        const arch::DurationMap& durations);
+
+/// Classic unweighted depth (every non-barrier gate one layer).
+int unweighted_depth(const ir::Circuit& circuit);
+
+}  // namespace codar::schedule

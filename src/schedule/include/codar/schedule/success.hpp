@@ -1,0 +1,31 @@
+#pragma once
+
+// Estimated success probability (ESP): the analytical fidelity proxy used
+// by the error-aware mapping line of work the paper discusses (§II-b).
+//
+//   ESP = Π_gates F(gate) × Π_qubits exp(-busy_or_idle_time / T_coherence)
+//
+// The first factor punishes extra SWAPs, the second punishes long
+// schedules — exactly the trade-off Fig. 9 probes by simulation; ESP lets
+// benches sweep it cheaply at any device size.
+
+#include "codar/arch/fidelity_map.hpp"
+#include "codar/schedule/scheduler.hpp"
+
+namespace codar::schedule {
+
+struct EspBreakdown {
+  double gate_factor = 1.0;        ///< Product of per-gate fidelities.
+  double coherence_factor = 1.0;   ///< exp(-Σ_q lifetime_q / T).
+  double esp() const { return gate_factor * coherence_factor; }
+};
+
+/// Computes ESP of a circuit under a fidelity map and a coherence time
+/// (cycles; infinity disables the decoherence factor). Each *used* qubit
+/// decoheres from its first gate's start to its last gate's finish.
+EspBreakdown estimate_success(const ir::Circuit& circuit,
+                              const arch::DurationMap& durations,
+                              const arch::FidelityMap& fidelities,
+                              double coherence_cycles);
+
+}  // namespace codar::schedule

@@ -1,0 +1,35 @@
+#pragma once
+
+// Timeline analysis and rendering over ASAP schedules: an ASCII Gantt view
+// (one row per qubit) plus parallelism / utilization statistics. Used by
+// the examples to visualize why CODAR's circuits finish earlier, and by
+// benches to report parallelism gains.
+
+#include <string>
+
+#include "codar/schedule/scheduler.hpp"
+
+namespace codar::schedule {
+
+/// Aggregate occupancy statistics of a schedule.
+struct TimelineStats {
+  Duration makespan = 0;
+  double mean_parallelism = 0.0;  ///< Avg gates in flight over the makespan.
+  double qubit_utilization = 0.0; ///< Busy qubit-cycles / (qubits*makespan).
+  Duration busiest_qubit_cycles = 0;
+  ir::Qubit busiest_qubit = -1;
+};
+
+/// Computes occupancy statistics for a circuit under the given durations.
+TimelineStats analyze_timeline(const ir::Circuit& circuit,
+                               const arch::DurationMap& durations);
+
+/// Renders an ASCII Gantt chart: one row per *used* qubit, one column per
+/// cycle (capped at `max_columns`; longer schedules are truncated with a
+/// marker). Gate cells show the first letter of the mnemonic, SWAPs show
+/// 'S', idle cycles show '.'.
+std::string render_timeline(const ir::Circuit& circuit,
+                            const arch::DurationMap& durations,
+                            int max_columns = 120);
+
+}  // namespace codar::schedule

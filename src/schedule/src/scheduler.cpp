@@ -1,0 +1,59 @@
+#include "codar/schedule/scheduler.hpp"
+
+#include <algorithm>
+
+namespace codar::schedule {
+
+int Schedule::active_gates_at(Duration t) const {
+  int active = 0;
+  for (const ScheduledGate& g : gates) {
+    if (g.start <= t && t < g.finish) ++active;
+  }
+  return active;
+}
+
+Schedule asap_schedule(const ir::Circuit& circuit,
+                       const arch::DurationMap& durations) {
+  Schedule schedule;
+  schedule.gates.reserve(circuit.size());
+  std::vector<Duration> avail(static_cast<std::size_t>(circuit.num_qubits()),
+                              0);
+  for (std::size_t i = 0; i < circuit.size(); ++i) {
+    const ir::Gate& g = circuit.gate(i);
+    Duration start = 0;
+    for (const ir::Qubit q : g.qubits()) {
+      start = std::max(start, avail[static_cast<std::size_t>(q)]);
+    }
+    const Duration finish = start + durations.of(g);
+    for (const ir::Qubit q : g.qubits()) {
+      avail[static_cast<std::size_t>(q)] = finish;
+    }
+    schedule.gates.push_back(ScheduledGate{i, start, finish});
+    schedule.makespan = std::max(schedule.makespan, finish);
+  }
+  return schedule;
+}
+
+Duration weighted_depth(const ir::Circuit& circuit,
+                        const arch::DurationMap& durations) {
+  return asap_schedule(circuit, durations).makespan;
+}
+
+int unweighted_depth(const ir::Circuit& circuit) {
+  std::vector<int> depth(static_cast<std::size_t>(circuit.num_qubits()), 0);
+  int max_depth = 0;
+  for (const ir::Gate& g : circuit.gates()) {
+    int layer = 0;
+    for (const ir::Qubit q : g.qubits()) {
+      layer = std::max(layer, depth[static_cast<std::size_t>(q)]);
+    }
+    if (g.kind() != ir::GateKind::kBarrier) ++layer;
+    for (const ir::Qubit q : g.qubits()) {
+      depth[static_cast<std::size_t>(q)] = layer;
+    }
+    max_depth = std::max(max_depth, layer);
+  }
+  return max_depth;
+}
+
+}  // namespace codar::schedule

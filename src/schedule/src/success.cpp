@@ -1,0 +1,45 @@
+#include "codar/schedule/success.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace codar::schedule {
+
+EspBreakdown estimate_success(const ir::Circuit& circuit,
+                              const arch::DurationMap& durations,
+                              const arch::FidelityMap& fidelities,
+                              double coherence_cycles) {
+  CODAR_EXPECTS(coherence_cycles > 0.0);
+  const Schedule sched = asap_schedule(circuit, durations);
+  EspBreakdown breakdown;
+
+  std::vector<Duration> first_start(
+      static_cast<std::size_t>(circuit.num_qubits()),
+      std::numeric_limits<Duration>::max());
+  std::vector<Duration> last_finish(
+      static_cast<std::size_t>(circuit.num_qubits()), -1);
+
+  for (const ScheduledGate& sg : sched.gates) {
+    const ir::Gate& g = circuit.gate(sg.gate_index);
+    breakdown.gate_factor *= fidelities.of(g);
+    for (const ir::Qubit q : g.qubits()) {
+      auto& fs = first_start[static_cast<std::size_t>(q)];
+      fs = std::min(fs, sg.start);
+      auto& lf = last_finish[static_cast<std::size_t>(q)];
+      lf = std::max(lf, sg.finish);
+    }
+  }
+  if (!std::isinf(coherence_cycles)) {
+    double exposure = 0.0;
+    for (std::size_t q = 0; q < last_finish.size(); ++q) {
+      if (last_finish[q] < 0) continue;  // untouched qubit
+      exposure +=
+          static_cast<double>(last_finish[q] - first_start[q]);
+    }
+    breakdown.coherence_factor = std::exp(-exposure / coherence_cycles);
+  }
+  return breakdown;
+}
+
+}  // namespace codar::schedule

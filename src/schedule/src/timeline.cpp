@@ -1,0 +1,87 @@
+#include "codar/schedule/timeline.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+namespace codar::schedule {
+
+TimelineStats analyze_timeline(const ir::Circuit& circuit,
+                               const arch::DurationMap& durations) {
+  const Schedule sched = asap_schedule(circuit, durations);
+  TimelineStats stats;
+  stats.makespan = sched.makespan;
+  if (sched.makespan == 0) return stats;
+
+  std::vector<Duration> busy(static_cast<std::size_t>(circuit.num_qubits()),
+                             0);
+  Duration gate_cycles = 0;
+  for (const ScheduledGate& sg : sched.gates) {
+    const ir::Gate& g = circuit.gate(sg.gate_index);
+    const Duration len = sg.finish - sg.start;
+    gate_cycles += len;
+    for (const ir::Qubit q : g.qubits()) {
+      busy[static_cast<std::size_t>(q)] += len;
+    }
+  }
+  stats.mean_parallelism = static_cast<double>(gate_cycles) /
+                           static_cast<double>(sched.makespan);
+  Duration total_busy = 0;
+  for (std::size_t q = 0; q < busy.size(); ++q) {
+    total_busy += busy[q];
+    if (busy[q] > stats.busiest_qubit_cycles) {
+      stats.busiest_qubit_cycles = busy[q];
+      stats.busiest_qubit = static_cast<ir::Qubit>(q);
+    }
+  }
+  const int used = circuit.used_qubit_count();
+  if (used > 0) {
+    stats.qubit_utilization =
+        static_cast<double>(total_busy) /
+        (static_cast<double>(used) * static_cast<double>(sched.makespan));
+  }
+  return stats;
+}
+
+std::string render_timeline(const ir::Circuit& circuit,
+                            const arch::DurationMap& durations,
+                            int max_columns) {
+  CODAR_EXPECTS(max_columns > 0);
+  const Schedule sched = asap_schedule(circuit, durations);
+  const int used = circuit.used_qubit_count();
+  const auto columns = static_cast<std::size_t>(
+      std::min<Duration>(sched.makespan, max_columns));
+  std::vector<std::string> rows(static_cast<std::size_t>(used),
+                                std::string(columns, '.'));
+  for (const ScheduledGate& sg : sched.gates) {
+    const ir::Gate& g = circuit.gate(sg.gate_index);
+    char symbol = ir::gate_info(g.kind()).name[0];
+    if (g.kind() == ir::GateKind::kSwap) symbol = 'S';
+    symbol = static_cast<char>(
+        std::toupper(static_cast<unsigned char>(symbol)));
+    for (const ir::Qubit q : g.qubits()) {
+      auto& row = rows[static_cast<std::size_t>(q)];
+      for (Duration t = sg.start; t < sg.finish; ++t) {
+        if (t >= static_cast<Duration>(columns)) break;
+        row[static_cast<std::size_t>(t)] = symbol;
+      }
+      // Zero-duration gates (barriers) still leave a mark.
+      if (sg.finish == sg.start &&
+          sg.start < static_cast<Duration>(columns)) {
+        row[static_cast<std::size_t>(sg.start)] = '|';
+      }
+    }
+  }
+  std::ostringstream out;
+  for (int q = 0; q < used; ++q) {
+    out << 'Q' << q << (q < 10 ? "  |" : " |")
+        << rows[static_cast<std::size_t>(q)];
+    if (sched.makespan > static_cast<Duration>(columns)) out << " ...";
+    out << '\n';
+  }
+  out << "t = 0.." << sched.makespan << " cycles\n";
+  return out.str();
+}
+
+}  // namespace codar::schedule

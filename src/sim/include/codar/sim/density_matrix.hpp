@@ -1,0 +1,51 @@
+#pragma once
+
+// Exact mixed-state simulator. The density matrix ρ over n qubits is kept
+// as a vector over 2n index bits (row bits 0..n-1, column bits n..2n-1),
+// so unitaries apply as U on the row bits and U* on the column bits, and
+// Kraus channels as Σ_i (K_i ⊗ K_i*). Practical up to ~10 qubits — enough
+// for the Fig. 9 fidelity study on small lattice devices.
+
+#include "codar/ir/circuit.hpp"
+#include "codar/ir/unitary.hpp"
+#include "codar/sim/statevector.hpp"
+
+namespace codar::sim {
+
+/// Density matrix over `num_qubits` qubits, initialized to |0..0><0..0|.
+class DensityMatrix {
+ public:
+  explicit DensityMatrix(int num_qubits);
+
+  int num_qubits() const { return num_qubits_; }
+
+  /// ρ[row, col].
+  Complex entry(std::size_t row, std::size_t col) const;
+
+  /// ρ → U ρ U† for a unitary gate (Measure/Barrier are no-ops).
+  void apply(const ir::Gate& g);
+  void apply(const ir::Circuit& circuit);
+
+  /// ρ → Σ_i K_i ρ K_i† for a single-qubit channel on qubit q.
+  void apply_kraus_1q(const std::vector<ir::Matrix>& kraus, ir::Qubit q);
+
+  /// tr(ρ) — 1 for physical states (trace-preserving evolution).
+  double trace() const;
+
+  /// <ψ| ρ |ψ> — fidelity against a pure reference state.
+  double fidelity(const Statevector& psi) const;
+
+  /// Probability that qubit q reads 1 (diagonal sum).
+  double probability_one(ir::Qubit q) const;
+
+ private:
+  /// Applies matrix m to row bits of the flattened index (qubit q) —
+  /// conjugate = false — or to column bits with conjugated entries.
+  void apply_1q_matrix(const ir::Matrix& m, ir::Qubit q, bool conjugate);
+  void apply_gate_matrix(const ir::Gate& g, bool conjugate);
+
+  int num_qubits_;
+  std::vector<Complex> data_;  ///< 4^n entries; index = row | (col << n).
+};
+
+}  // namespace codar::sim

@@ -1,0 +1,48 @@
+#pragma once
+
+// Qubit dephasing + amplitude damping noise (Nielsen & Chuang §8.3) — the
+// model the paper's OriginQ noisy virtual machine implements. Decoherence
+// is *time-based*: a qubit accumulates error over wall-clock cycles
+// (busy or idle), which is exactly why a shorter weighted depth preserves
+// fidelity.
+
+#include <limits>
+
+#include "codar/arch/durations.hpp"
+#include "codar/ir/unitary.hpp"
+
+namespace codar::sim {
+
+using arch::Duration;
+
+/// Decoherence times in quantum clock cycles. Infinity disables a channel.
+struct NoiseParams {
+  double t1 = std::numeric_limits<double>::infinity();  ///< Damping time.
+  double t2 = std::numeric_limits<double>::infinity();  ///< Dephasing time.
+
+  /// Dephasing-dominant regime of the paper's Fig. 9.
+  static NoiseParams dephasing_dominant(double t2_cycles) {
+    return NoiseParams{std::numeric_limits<double>::infinity(), t2_cycles};
+  }
+  /// Damping-dominant regime of the paper's Fig. 9.
+  static NoiseParams damping_dominant(double t1_cycles) {
+    return NoiseParams{t1_cycles, std::numeric_limits<double>::infinity()};
+  }
+
+  /// Phase-flip probability accumulated over `elapsed` cycles:
+  /// p = (1 − exp(−t/T2)) / 2 (asymptotically fully dephased).
+  double dephasing_prob(double elapsed) const;
+  /// Amplitude-damping probability over `elapsed` cycles:
+  /// γ = 1 − exp(−t/T1).
+  double damping_prob(double elapsed) const;
+};
+
+/// Kraus operators of the single-qubit phase-flip channel with flip
+/// probability p: { √(1−p)·I, √p·Z }.
+std::vector<ir::Matrix> dephasing_kraus(double p);
+
+/// Kraus operators of the amplitude-damping channel with decay γ:
+/// { [[1,0],[0,√(1−γ)]], [[0,√γ],[0,0]] }.
+std::vector<ir::Matrix> damping_kraus(double gamma);
+
+}  // namespace codar::sim

@@ -1,0 +1,51 @@
+#pragma once
+
+// Schedule-aware noisy execution (the OriginQ-noisy-VM substitute). Gates
+// run at their ASAP start times; every qubit accumulates dephasing and
+// amplitude-damping noise over *elapsed wall-clock cycles* — busy or idle —
+// up to the circuit makespan. Two backends:
+//
+//  * DensityMatrix (exact Kraus application) for small devices;
+//  * Monte-Carlo statevector trajectories for larger ones.
+//
+// Fidelity of a routed circuit = overlap of its noisy output with its own
+// noiseless output (the routed circuit is unitarily exact, so this equals
+// the fidelity against the ideal logical state, permutation included).
+
+#include <cstdint>
+
+#include "codar/arch/durations.hpp"
+#include "codar/ir/circuit.hpp"
+#include "codar/sim/density_matrix.hpp"
+#include "codar/sim/noise_model.hpp"
+#include "codar/sim/statevector.hpp"
+
+namespace codar::sim {
+
+/// Exact noisy execution on a density matrix. `num_qubits` is the device
+/// register width (>= circuit width); practical limit ~10 qubits.
+DensityMatrix run_noisy_density(const ir::Circuit& circuit, int num_qubits,
+                                const arch::DurationMap& durations,
+                                const NoiseParams& noise);
+
+/// One stochastic trajectory on a statevector (quantum-jump unravelling of
+/// the same channels). Deterministic given the seed.
+Statevector run_noisy_trajectory(const ir::Circuit& circuit, int num_qubits,
+                                 const arch::DurationMap& durations,
+                                 const NoiseParams& noise,
+                                 std::uint64_t seed);
+
+/// Fidelity of the noisy execution against the noiseless execution of the
+/// same circuit, on the density-matrix backend.
+double noisy_fidelity_density(const ir::Circuit& circuit, int num_qubits,
+                              const arch::DurationMap& durations,
+                              const NoiseParams& noise);
+
+/// Same fidelity estimated from `trajectories` Monte-Carlo samples.
+double noisy_fidelity_trajectories(const ir::Circuit& circuit,
+                                   int num_qubits,
+                                   const arch::DurationMap& durations,
+                                   const NoiseParams& noise,
+                                   int trajectories, std::uint64_t seed);
+
+}  // namespace codar::sim

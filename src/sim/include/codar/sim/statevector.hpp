@@ -1,0 +1,62 @@
+#pragma once
+
+// Pure state-vector simulator: exact unitary gate application over n
+// qubits (basis index bit q = qubit q). Backs the routing equivalence
+// tests and the Monte-Carlo trajectory noise simulator.
+
+#include <complex>
+#include <vector>
+
+#include "codar/ir/circuit.hpp"
+#include "codar/ir/unitary.hpp"
+
+namespace codar::sim {
+
+using ir::Complex;
+
+/// State vector over `num_qubits` qubits, initialized to |0...0>.
+class Statevector {
+ public:
+  explicit Statevector(int num_qubits);
+
+  int num_qubits() const { return num_qubits_; }
+  std::size_t dim() const { return amps_.size(); }
+
+  const Complex& amp(std::size_t basis) const {
+    CODAR_EXPECTS(basis < amps_.size());
+    return amps_[basis];
+  }
+  std::vector<Complex>& amplitudes() { return amps_; }
+  const std::vector<Complex>& amplitudes() const { return amps_; }
+
+  /// Applies a unitary gate (Measure and Barrier are no-ops here; the
+  /// noisy simulators handle measurement noise separately).
+  void apply(const ir::Gate& g);
+
+  /// Applies every gate of a circuit in sequence.
+  void apply(const ir::Circuit& circuit);
+
+  /// Applies an arbitrary 2x2 matrix (not necessarily unitary — trajectory
+  /// simulation applies Kraus operators) to one qubit.
+  void apply_1q_matrix(const ir::Matrix& m, ir::Qubit q);
+
+  /// Probability that qubit q reads 1.
+  double probability_one(ir::Qubit q) const;
+
+  /// Squared norm of the state (1 for normalized states).
+  double norm_squared() const;
+  /// Rescales to unit norm. Requires a nonzero state.
+  void normalize();
+
+  /// <this|other>.
+  Complex inner_product(const Statevector& other) const;
+
+  /// |<this|other>|^2 — state fidelity between pure states.
+  double fidelity(const Statevector& other) const;
+
+ private:
+  int num_qubits_;
+  std::vector<Complex> amps_;
+};
+
+}  // namespace codar::sim

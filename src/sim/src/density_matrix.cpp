@@ -1,0 +1,156 @@
+#include "codar/sim/density_matrix.hpp"
+
+#include <cmath>
+
+namespace codar::sim {
+
+namespace {
+
+using ir::Gate;
+using ir::GateKind;
+using ir::Matrix;
+using ir::Qubit;
+
+}  // namespace
+
+DensityMatrix::DensityMatrix(int num_qubits) : num_qubits_(num_qubits) {
+  CODAR_EXPECTS(num_qubits >= 1 && num_qubits <= 13);
+  data_.assign(std::size_t{1} << (2 * num_qubits), Complex{});
+  data_[0] = 1.0;
+}
+
+Complex DensityMatrix::entry(std::size_t row, std::size_t col) const {
+  const std::size_t dim = std::size_t{1} << num_qubits_;
+  CODAR_EXPECTS(row < dim && col < dim);
+  return data_[row | (col << num_qubits_)];
+}
+
+void DensityMatrix::apply_1q_matrix(const Matrix& m, Qubit q,
+                                    bool conjugate) {
+  CODAR_EXPECTS(m.dim() == 2);
+  const Qubit bit = conjugate ? q + num_qubits_ : q;
+  const std::size_t stride = std::size_t{1} << bit;
+  const Complex m00 = conjugate ? std::conj(m.at(0, 0)) : m.at(0, 0);
+  const Complex m01 = conjugate ? std::conj(m.at(0, 1)) : m.at(0, 1);
+  const Complex m10 = conjugate ? std::conj(m.at(1, 0)) : m.at(1, 0);
+  const Complex m11 = conjugate ? std::conj(m.at(1, 1)) : m.at(1, 1);
+  for (std::size_t base = 0; base < data_.size(); base += 2 * stride) {
+    for (std::size_t offset = 0; offset < stride; ++offset) {
+      const std::size_t i0 = base + offset;
+      const std::size_t i1 = i0 + stride;
+      const Complex a0 = data_[i0];
+      const Complex a1 = data_[i1];
+      data_[i0] = m00 * a0 + m01 * a1;
+      data_[i1] = m10 * a0 + m11 * a1;
+    }
+  }
+}
+
+void DensityMatrix::apply_gate_matrix(const Gate& g, bool conjugate) {
+  const Matrix u = ir::gate_unitary(g.kind(), g.params());
+  const int k = g.num_qubits();
+  const std::size_t local_dim = std::size_t{1} << k;
+  std::size_t mask = 0;
+  for (int i = 0; i < k; ++i) {
+    const Qubit bit =
+        conjugate ? g.qubit(i) + num_qubits_ : g.qubit(i);
+    mask |= (std::size_t{1} << bit);
+  }
+  std::vector<Complex> local(local_dim);
+  for (std::size_t base = 0; base < data_.size(); ++base) {
+    if ((base & mask) != 0) continue;
+    for (std::size_t l = 0; l < local_dim; ++l) {
+      std::size_t idx = base;
+      for (int i = 0; i < k; ++i) {
+        if ((l >> i) & 1U) {
+          const Qubit bit =
+              conjugate ? g.qubit(i) + num_qubits_ : g.qubit(i);
+          idx |= (std::size_t{1} << bit);
+        }
+      }
+      local[l] = data_[idx];
+    }
+    for (std::size_t row = 0; row < local_dim; ++row) {
+      Complex acc{};
+      for (std::size_t col = 0; col < local_dim; ++col) {
+        const Complex v = conjugate ? std::conj(u.at(row, col))
+                                    : u.at(row, col);
+        acc += v * local[col];
+      }
+      std::size_t idx = base;
+      for (int i = 0; i < k; ++i) {
+        if ((row >> i) & 1U) {
+          const Qubit bit =
+              conjugate ? g.qubit(i) + num_qubits_ : g.qubit(i);
+          idx |= (std::size_t{1} << bit);
+        }
+      }
+      data_[idx] = acc;
+    }
+  }
+}
+
+void DensityMatrix::apply(const Gate& g) {
+  if (g.kind() == GateKind::kMeasure || g.kind() == GateKind::kBarrier) {
+    return;
+  }
+  for (const Qubit q : g.qubits()) {
+    CODAR_EXPECTS(q >= 0 && q < num_qubits_);
+  }
+  apply_gate_matrix(g, /*conjugate=*/false);  // U on row bits
+  apply_gate_matrix(g, /*conjugate=*/true);   // U* on column bits
+}
+
+void DensityMatrix::apply(const ir::Circuit& circuit) {
+  CODAR_EXPECTS(circuit.num_qubits() <= num_qubits_);
+  for (const Gate& g : circuit.gates()) apply(g);
+}
+
+void DensityMatrix::apply_kraus_1q(const std::vector<Matrix>& kraus,
+                                   Qubit q) {
+  CODAR_EXPECTS(q >= 0 && q < num_qubits_);
+  CODAR_EXPECTS(!kraus.empty());
+  std::vector<Complex> accum(data_.size(), Complex{});
+  std::vector<Complex> original = data_;
+  for (const Matrix& k : kraus) {
+    data_ = original;
+    apply_1q_matrix(k, q, /*conjugate=*/false);
+    apply_1q_matrix(k, q, /*conjugate=*/true);
+    for (std::size_t i = 0; i < data_.size(); ++i) accum[i] += data_[i];
+  }
+  data_ = std::move(accum);
+}
+
+double DensityMatrix::trace() const {
+  double tr = 0.0;
+  const std::size_t dim = std::size_t{1} << num_qubits_;
+  for (std::size_t i = 0; i < dim; ++i) {
+    tr += data_[i | (i << num_qubits_)].real();
+  }
+  return tr;
+}
+
+double DensityMatrix::fidelity(const Statevector& psi) const {
+  CODAR_EXPECTS(psi.num_qubits() == num_qubits_);
+  const std::size_t dim = std::size_t{1} << num_qubits_;
+  Complex acc{};
+  for (std::size_t row = 0; row < dim; ++row) {
+    for (std::size_t col = 0; col < dim; ++col) {
+      acc += std::conj(psi.amp(row)) * entry(row, col) * psi.amp(col);
+    }
+  }
+  return acc.real();
+}
+
+double DensityMatrix::probability_one(Qubit q) const {
+  CODAR_EXPECTS(q >= 0 && q < num_qubits_);
+  const std::size_t dim = std::size_t{1} << num_qubits_;
+  const std::size_t bit = std::size_t{1} << q;
+  double p = 0.0;
+  for (std::size_t i = 0; i < dim; ++i) {
+    if (i & bit) p += data_[i | (i << num_qubits_)].real();
+  }
+  return p;
+}
+
+}  // namespace codar::sim

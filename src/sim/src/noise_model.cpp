@@ -1,0 +1,42 @@
+#include "codar/sim/noise_model.hpp"
+
+#include <cmath>
+
+namespace codar::sim {
+
+double NoiseParams::dephasing_prob(double elapsed) const {
+  CODAR_EXPECTS(elapsed >= 0.0);
+  if (std::isinf(t2)) return 0.0;
+  CODAR_EXPECTS(t2 > 0.0);
+  return 0.5 * (1.0 - std::exp(-elapsed / t2));
+}
+
+double NoiseParams::damping_prob(double elapsed) const {
+  CODAR_EXPECTS(elapsed >= 0.0);
+  if (std::isinf(t1)) return 0.0;
+  CODAR_EXPECTS(t1 > 0.0);
+  return 1.0 - std::exp(-elapsed / t1);
+}
+
+std::vector<ir::Matrix> dephasing_kraus(double p) {
+  CODAR_EXPECTS(p >= 0.0 && p <= 1.0);
+  ir::Matrix k0(2);
+  k0.at(0, 0) = std::sqrt(1.0 - p);
+  k0.at(1, 1) = std::sqrt(1.0 - p);
+  ir::Matrix k1(2);
+  k1.at(0, 0) = std::sqrt(p);
+  k1.at(1, 1) = -std::sqrt(p);
+  return {k0, k1};
+}
+
+std::vector<ir::Matrix> damping_kraus(double gamma) {
+  CODAR_EXPECTS(gamma >= 0.0 && gamma <= 1.0);
+  ir::Matrix k0(2);
+  k0.at(0, 0) = 1.0;
+  k0.at(1, 1) = std::sqrt(1.0 - gamma);
+  ir::Matrix k1(2);
+  k1.at(0, 1) = std::sqrt(gamma);
+  return {k0, k1};
+}
+
+}  // namespace codar::sim

@@ -1,0 +1,132 @@
+#include "codar/sim/noisy_simulator.hpp"
+
+#include <cmath>
+
+#include "codar/common/rng.hpp"
+#include "codar/schedule/scheduler.hpp"
+
+namespace codar::sim {
+
+namespace {
+
+using arch::Duration;
+using ir::Gate;
+using ir::GateKind;
+using ir::Matrix;
+using ir::Qubit;
+
+/// Drives one noisy execution: walks the ASAP schedule in gate order and
+/// hands each backend (density / trajectory) the decoherence interval each
+/// qubit accumulated since its previous event, then the gate itself.
+template <typename ApplyNoise, typename ApplyGate>
+void walk_schedule(const ir::Circuit& circuit, int num_qubits,
+                   const arch::DurationMap& durations,
+                   ApplyNoise&& apply_noise, ApplyGate&& apply_gate) {
+  const schedule::Schedule sched = schedule::asap_schedule(circuit, durations);
+  std::vector<Duration> last_event(static_cast<std::size_t>(num_qubits), 0);
+  for (const schedule::ScheduledGate& sg : sched.gates) {
+    const Gate& g = circuit.gate(sg.gate_index);
+    // Noise accumulated from each operand's previous event to this gate's
+    // *finish* (covers idle wait plus the gate's own duration).
+    for (const Qubit q : g.qubits()) {
+      const Duration elapsed =
+          sg.finish - last_event[static_cast<std::size_t>(q)];
+      if (elapsed > 0) apply_noise(q, static_cast<double>(elapsed));
+      last_event[static_cast<std::size_t>(q)] = sg.finish;
+    }
+    apply_gate(g);
+  }
+  // Trailing idle noise up to the global makespan.
+  for (Qubit q = 0; q < num_qubits; ++q) {
+    const Duration elapsed =
+        sched.makespan - last_event[static_cast<std::size_t>(q)];
+    if (elapsed > 0) apply_noise(q, static_cast<double>(elapsed));
+  }
+}
+
+}  // namespace
+
+DensityMatrix run_noisy_density(const ir::Circuit& circuit, int num_qubits,
+                                const arch::DurationMap& durations,
+                                const NoiseParams& noise) {
+  CODAR_EXPECTS(circuit.num_qubits() <= num_qubits);
+  DensityMatrix rho(num_qubits);
+  walk_schedule(
+      circuit, num_qubits, durations,
+      [&](Qubit q, double elapsed) {
+        const double p_phi = noise.dephasing_prob(elapsed);
+        if (p_phi > 0.0) rho.apply_kraus_1q(dephasing_kraus(p_phi), q);
+        const double gamma = noise.damping_prob(elapsed);
+        if (gamma > 0.0) rho.apply_kraus_1q(damping_kraus(gamma), q);
+      },
+      [&](const Gate& g) { rho.apply(g); });
+  return rho;
+}
+
+Statevector run_noisy_trajectory(const ir::Circuit& circuit, int num_qubits,
+                                 const arch::DurationMap& durations,
+                                 const NoiseParams& noise,
+                                 std::uint64_t seed) {
+  CODAR_EXPECTS(circuit.num_qubits() <= num_qubits);
+  Statevector psi(num_qubits);
+  Rng rng(seed);
+  walk_schedule(
+      circuit, num_qubits, durations,
+      [&](Qubit q, double elapsed) {
+        // Phase flip with probability p (stochastic unravelling of the
+        // dephasing channel).
+        const double p_phi = noise.dephasing_prob(elapsed);
+        if (p_phi > 0.0 && rng.bernoulli(p_phi)) {
+          psi.apply(Gate::z(q));
+        }
+        // Quantum-jump unravelling of amplitude damping: jump probability
+        // is γ·P(q = 1); otherwise apply the no-jump Kraus and renormalize.
+        const double gamma = noise.damping_prob(elapsed);
+        if (gamma > 0.0) {
+          const double p1 = psi.probability_one(q);
+          const double p_jump = gamma * p1;
+          if (p_jump > 0.0 && rng.uniform() < p_jump) {
+            Matrix jump(2);  // |0><1|
+            jump.at(0, 1) = 1.0;
+            psi.apply_1q_matrix(jump, q);
+          } else {
+            Matrix no_jump(2);  // diag(1, sqrt(1-γ))
+            no_jump.at(0, 0) = 1.0;
+            no_jump.at(1, 1) = std::sqrt(1.0 - gamma);
+            psi.apply_1q_matrix(no_jump, q);
+          }
+          psi.normalize();
+        }
+      },
+      [&](const Gate& g) { psi.apply(g); });
+  return psi;
+}
+
+double noisy_fidelity_density(const ir::Circuit& circuit, int num_qubits,
+                              const arch::DurationMap& durations,
+                              const NoiseParams& noise) {
+  Statevector ideal(num_qubits);
+  ideal.apply(circuit);
+  const DensityMatrix rho =
+      run_noisy_density(circuit, num_qubits, durations, noise);
+  return rho.fidelity(ideal);
+}
+
+double noisy_fidelity_trajectories(const ir::Circuit& circuit,
+                                   int num_qubits,
+                                   const arch::DurationMap& durations,
+                                   const NoiseParams& noise,
+                                   int trajectories, std::uint64_t seed) {
+  CODAR_EXPECTS(trajectories > 0);
+  Statevector ideal(num_qubits);
+  ideal.apply(circuit);
+  double total = 0.0;
+  for (int t = 0; t < trajectories; ++t) {
+    const Statevector psi = run_noisy_trajectory(
+        circuit, num_qubits, durations, noise, seed + static_cast<std::uint64_t>(t));
+    total += ideal.fidelity(psi);
+  }
+  return total / trajectories;
+}
+
+}  // namespace codar::sim

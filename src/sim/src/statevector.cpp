@@ -1,0 +1,123 @@
+#include "codar/sim/statevector.hpp"
+
+#include <cmath>
+
+namespace codar::sim {
+
+namespace {
+
+using ir::Gate;
+using ir::GateKind;
+using ir::Matrix;
+using ir::Qubit;
+
+}  // namespace
+
+Statevector::Statevector(int num_qubits) : num_qubits_(num_qubits) {
+  CODAR_EXPECTS(num_qubits >= 1 && num_qubits <= 26);
+  amps_.assign(std::size_t{1} << num_qubits, Complex{});
+  amps_[0] = 1.0;
+}
+
+void Statevector::apply_1q_matrix(const Matrix& m, Qubit q) {
+  CODAR_EXPECTS(m.dim() == 2);
+  CODAR_EXPECTS(q >= 0 && q < num_qubits_);
+  const std::size_t stride = std::size_t{1} << q;
+  for (std::size_t base = 0; base < amps_.size(); base += 2 * stride) {
+    for (std::size_t offset = 0; offset < stride; ++offset) {
+      const std::size_t i0 = base + offset;
+      const std::size_t i1 = i0 + stride;
+      const Complex a0 = amps_[i0];
+      const Complex a1 = amps_[i1];
+      amps_[i0] = m.at(0, 0) * a0 + m.at(0, 1) * a1;
+      amps_[i1] = m.at(1, 0) * a0 + m.at(1, 1) * a1;
+    }
+  }
+}
+
+void Statevector::apply(const Gate& g) {
+  if (g.kind() == GateKind::kMeasure || g.kind() == GateKind::kBarrier) {
+    return;
+  }
+  for (const Qubit q : g.qubits()) {
+    CODAR_EXPECTS(q >= 0 && q < num_qubits_);
+  }
+  if (g.num_qubits() == 1) {
+    apply_1q_matrix(ir::gate_unitary(g.kind(), g.params()), g.qubit(0));
+    return;
+  }
+  // General k-qubit path via the local unitary (k = 2 or 3).
+  const Matrix u = ir::gate_unitary(g.kind(), g.params());
+  const int k = g.num_qubits();
+  const std::size_t local_dim = std::size_t{1} << k;
+  std::size_t mask = 0;
+  for (int i = 0; i < k; ++i) {
+    mask |= (std::size_t{1} << g.qubit(i));
+  }
+  std::vector<Complex> local(local_dim);
+  for (std::size_t base = 0; base < amps_.size(); ++base) {
+    if ((base & mask) != 0) continue;  // visit each local block once
+    // Gather.
+    for (std::size_t l = 0; l < local_dim; ++l) {
+      std::size_t idx = base;
+      for (int i = 0; i < k; ++i) {
+        if ((l >> i) & 1U) idx |= (std::size_t{1} << g.qubit(i));
+      }
+      local[l] = amps_[idx];
+    }
+    // Multiply and scatter.
+    for (std::size_t row = 0; row < local_dim; ++row) {
+      Complex acc{};
+      for (std::size_t col = 0; col < local_dim; ++col) {
+        acc += u.at(row, col) * local[col];
+      }
+      std::size_t idx = base;
+      for (int i = 0; i < k; ++i) {
+        if ((row >> i) & 1U) idx |= (std::size_t{1} << g.qubit(i));
+      }
+      amps_[idx] = acc;
+    }
+  }
+}
+
+void Statevector::apply(const ir::Circuit& circuit) {
+  CODAR_EXPECTS(circuit.num_qubits() <= num_qubits_);
+  for (const Gate& g : circuit.gates()) apply(g);
+}
+
+double Statevector::probability_one(Qubit q) const {
+  CODAR_EXPECTS(q >= 0 && q < num_qubits_);
+  const std::size_t bit = std::size_t{1} << q;
+  double p = 0.0;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    if (i & bit) p += std::norm(amps_[i]);
+  }
+  return p;
+}
+
+double Statevector::norm_squared() const {
+  double n = 0.0;
+  for (const Complex& a : amps_) n += std::norm(a);
+  return n;
+}
+
+void Statevector::normalize() {
+  const double n = std::sqrt(norm_squared());
+  CODAR_EXPECTS(n > 0.0);
+  for (Complex& a : amps_) a /= n;
+}
+
+Complex Statevector::inner_product(const Statevector& other) const {
+  CODAR_EXPECTS(other.amps_.size() == amps_.size());
+  Complex acc{};
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    acc += std::conj(amps_[i]) * other.amps_[i];
+  }
+  return acc;
+}
+
+double Statevector::fidelity(const Statevector& other) const {
+  return std::norm(inner_product(other));
+}
+
+}  // namespace codar::sim

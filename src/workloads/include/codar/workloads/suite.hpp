@@ -1,0 +1,31 @@
+#pragma once
+
+// The evaluation suite: 71 benchmark instances standing in for the paper's
+// collection (IBM Qiskit + RevLib + ScaffCC + Quipper programs), matching
+// its shape: 68 programs using 3..16 qubits plus three 36-qubit programs,
+// from arithmetic / textbook-algorithm / QFT / variational / random
+// families, up to tens of thousands of gates. All circuits are lowered to
+// <= 2-qubit gates (Toffolis decomposed), ready for routing.
+
+#include <string>
+#include <vector>
+
+#include "codar/ir/circuit.hpp"
+
+namespace codar::workloads {
+
+/// One suite entry.
+struct BenchmarkSpec {
+  std::string name;
+  ir::Circuit circuit;  ///< Lowered to <=2-qubit gates.
+};
+
+/// The full 71-entry suite, ordered by qubit count (ascending), as the
+/// paper's Fig. 8 lists its benchmarks.
+std::vector<BenchmarkSpec> benchmark_suite();
+
+/// The "7 famous quantum algorithms" of the paper's Fig. 9 fidelity study,
+/// sized for a 9-qubit (3×3 lattice) device.
+std::vector<BenchmarkSpec> famous_algorithms();
+
+}  // namespace codar::workloads

@@ -1,0 +1,107 @@
+#include "codar/workloads/suite.hpp"
+
+#include <algorithm>
+
+#include "codar/ir/decompose.hpp"
+#include "codar/workloads/generators.hpp"
+
+namespace codar::workloads {
+
+namespace {
+
+void add(std::vector<BenchmarkSpec>& suite, ir::Circuit circuit) {
+  ir::Circuit lowered = ir::decompose_toffoli(circuit);
+  lowered.set_name(circuit.name());
+  suite.push_back(BenchmarkSpec{circuit.name(), std::move(lowered)});
+}
+
+}  // namespace
+
+std::vector<BenchmarkSpec> benchmark_suite() {
+  std::vector<BenchmarkSpec> suite;
+  suite.reserve(71);
+
+  // GHZ ladders (5).
+  for (const int n : {3, 5, 8, 12, 16}) add(suite, ghz(n));
+  // QFT kernels (6).
+  for (const int n : {4, 6, 8, 10, 13, 16}) add(suite, qft(n));
+  // Bernstein-Vazirani with dense secrets (5).
+  for (const int n : {3, 6, 9, 12, 15}) {
+    add(suite, bernstein_vazirani(n, (std::uint64_t{1} << n) - 1));
+  }
+  // Deutsch-Jozsa, balanced and constant (4).
+  add(suite, deutsch_jozsa(5, true));
+  add(suite, deutsch_jozsa(5, false));
+  add(suite, deutsch_jozsa(11, true));
+  add(suite, deutsch_jozsa(11, false));
+  // Simon (5).
+  for (const int n : {2, 3, 4, 6, 8}) {
+    add(suite, simon(n, (std::uint64_t{1} << n) - 1));
+  }
+  // W states (5).
+  for (const int n : {4, 7, 10, 13, 16}) add(suite, w_state(n));
+  // Grover search (5).
+  add(suite, grover(3, 1));
+  add(suite, grover(4, 2));
+  add(suite, grover(5, 2));
+  add(suite, grover(6, 3));
+  add(suite, grover(8, 4));
+  // Cuccaro ripple-carry adders, 2*bits + 2 qubits (6).
+  for (const int bits : {2, 3, 4, 5, 6, 7}) add(suite, cuccaro_adder(bits));
+  // Draper QFT adders, 2*bits qubits (6).
+  for (const int bits : {2, 3, 4, 5, 6, 8}) add(suite, draper_adder(bits));
+  // QAOA MaxCut (4).
+  add(suite, qaoa_maxcut(6, 2, 11));
+  add(suite, qaoa_maxcut(9, 2, 12));
+  add(suite, qaoa_maxcut(12, 3, 13));
+  add(suite, qaoa_maxcut(16, 3, 14));
+  // Hardware-efficient ansatz (4).
+  add(suite, hardware_efficient_ansatz(5, 4, 21));
+  add(suite, hardware_efficient_ansatz(9, 6, 22));
+  add(suite, hardware_efficient_ansatz(13, 8, 23));
+  add(suite, hardware_efficient_ansatz(16, 8, 24));
+  // Ising Trotter chains (4).
+  add(suite, ising_trotter(6, 8));
+  add(suite, ising_trotter(10, 10));
+  add(suite, ising_trotter(14, 12));
+  add(suite, ising_trotter(16, 16));
+  // Toffoli chains (3).
+  add(suite, toffoli_chain(5, 4));
+  add(suite, toffoli_chain(9, 6));
+  add(suite, toffoli_chain(13, 8));
+  // Random circuits, including a large one near the paper's ~30k-gate
+  // upper end (6).
+  add(suite, random_circuit(5, 120, 0.4, 31));
+  add(suite, random_circuit(8, 300, 0.4, 32));
+  add(suite, random_circuit(11, 700, 0.45, 33));
+  add(suite, random_circuit(14, 1500, 0.45, 34));
+  add(suite, random_circuit(16, 4000, 0.5, 35));
+  add(suite, random_circuit(16, 20000, 0.5, 36));
+
+  // The three 36-qubit programs (Sycamore-only, as in the paper) (3).
+  add(suite, qft(36));
+  add(suite, qaoa_maxcut(36, 2, 41));
+  add(suite, random_circuit(36, 4000, 0.5, 42));
+
+  CODAR_ENSURES(suite.size() == 71);
+  std::stable_sort(suite.begin(), suite.end(),
+                   [](const BenchmarkSpec& a, const BenchmarkSpec& b) {
+                     return a.circuit.num_qubits() < b.circuit.num_qubits();
+                   });
+  return suite;
+}
+
+std::vector<BenchmarkSpec> famous_algorithms() {
+  std::vector<BenchmarkSpec> algos;
+  add(algos, bernstein_vazirani(4, 0b1011));
+  add(algos, qft(5));
+  add(algos, ghz(6));
+  add(algos, grover(3, 1));
+  add(algos, deutsch_jozsa(4, true));
+  add(algos, simon(3, 0b101));
+  add(algos, w_state(5));
+  CODAR_ENSURES(algos.size() == 7);
+  return algos;
+}
+
+}  // namespace codar::workloads

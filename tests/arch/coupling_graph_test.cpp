@@ -1,0 +1,84 @@
+#include "codar/arch/coupling_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace codar::arch {
+namespace {
+
+CouplingGraph path4() {
+  CouplingGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  return g;
+}
+
+TEST(CouplingGraph, EdgesAndAdjacency) {
+  const CouplingGraph g = path4();
+  EXPECT_EQ(g.num_qubits(), 4);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.connected(0, 1));
+  EXPECT_TRUE(g.connected(1, 0));
+  EXPECT_FALSE(g.connected(0, 2));
+  EXPECT_EQ(g.neighbors(1), (std::vector<ir::Qubit>{0, 2}));
+}
+
+TEST(CouplingGraph, RejectsSelfAndDuplicateEdges) {
+  CouplingGraph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(1, 1), ContractViolation);
+  EXPECT_THROW(g.add_edge(1, 0), ContractViolation);
+  EXPECT_THROW(g.add_edge(0, 5), ContractViolation);
+}
+
+TEST(CouplingGraph, BfsDistances) {
+  const CouplingGraph g = path4();
+  EXPECT_EQ(g.distance(0, 0), 0);
+  EXPECT_EQ(g.distance(0, 1), 1);
+  EXPECT_EQ(g.distance(0, 3), 3);
+  EXPECT_EQ(g.distance(3, 0), 3);
+}
+
+TEST(CouplingGraph, DisconnectedPairsAreInfinite) {
+  CouplingGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_EQ(g.distance(0, 3), kInfDistance);
+  EXPECT_FALSE(g.is_fully_connected());
+}
+
+TEST(CouplingGraph, DistanceCacheInvalidatedByNewEdge) {
+  CouplingGraph g(3);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.distance(0, 2), kInfDistance);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.distance(0, 2), 2);
+  EXPECT_TRUE(g.is_fully_connected());
+}
+
+TEST(CouplingGraph, RingDistanceTakesShorterArc) {
+  CouplingGraph g(6);
+  for (ir::Qubit q = 0; q < 6; ++q) g.add_edge(q, (q + 1) % 6);
+  EXPECT_EQ(g.distance(0, 3), 3);
+  EXPECT_EQ(g.distance(0, 5), 1);
+  EXPECT_EQ(g.distance(1, 4), 3);
+}
+
+TEST(CouplingGraph, CoordinatesRoundTrip) {
+  CouplingGraph g(2);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(g.has_coordinates());
+  EXPECT_THROW(g.coordinate(0), ContractViolation);
+  g.set_coordinates({{0, 0}, {0, 1}});
+  ASSERT_TRUE(g.has_coordinates());
+  EXPECT_EQ(g.coordinate(1).col, 1);
+  EXPECT_EQ(g.coordinate(1).row, 0);
+}
+
+TEST(CouplingGraph, CoordinatesMustCoverAllQubits) {
+  CouplingGraph g(3);
+  EXPECT_THROW(g.set_coordinates({{0, 0}}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace codar::arch

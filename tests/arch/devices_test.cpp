@@ -1,0 +1,104 @@
+#include "codar/arch/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "codar/arch/device_parameters.hpp"
+
+namespace codar::arch {
+namespace {
+
+TEST(Devices, IbmQ16Shape) {
+  const Device d = ibm_q16();
+  EXPECT_EQ(d.graph.num_qubits(), 16);
+  // 2x8 lattice: 7 horizontal x2 + 8 vertical.
+  EXPECT_EQ(d.graph.num_edges(), 22u);
+  EXPECT_TRUE(d.graph.is_fully_connected());
+  EXPECT_TRUE(d.graph.has_coordinates());
+}
+
+TEST(Devices, IbmQ20TokyoShape) {
+  const Device d = ibm_q20_tokyo();
+  EXPECT_EQ(d.graph.num_qubits(), 20);
+  // 4x5 lattice (4*4 + 3*5 = 31 edges) + 12 diagonals = 43.
+  EXPECT_EQ(d.graph.num_edges(), 43u);
+  EXPECT_TRUE(d.graph.is_fully_connected());
+  // Spot-check the published diagonals.
+  EXPECT_TRUE(d.graph.connected(1, 7));
+  EXPECT_TRUE(d.graph.connected(8, 12));
+  EXPECT_TRUE(d.graph.connected(14, 18));
+  EXPECT_FALSE(d.graph.connected(0, 6));
+}
+
+TEST(Devices, Enfield6x6Shape) {
+  const Device d = enfield_6x6();
+  EXPECT_EQ(d.graph.num_qubits(), 36);
+  EXPECT_EQ(d.graph.num_edges(), 60u);  // 2 * 6 * 5
+  EXPECT_TRUE(d.graph.is_fully_connected());
+}
+
+TEST(Devices, Sycamore54Shape) {
+  const Device d = google_sycamore54();
+  EXPECT_EQ(d.graph.num_qubits(), 54);
+  EXPECT_TRUE(d.graph.is_fully_connected());
+  EXPECT_TRUE(d.graph.has_coordinates());
+  // Degree <= 4 everywhere (square-lattice subgraph).
+  for (ir::Qubit q = 0; q < 54; ++q) {
+    EXPECT_LE(d.graph.neighbors(q).size(), 4u);
+    EXPECT_GE(d.graph.neighbors(q).size(), 1u);
+  }
+}
+
+TEST(Devices, YorktownBowTie) {
+  const Device d = ibm_q5_yorktown();
+  EXPECT_EQ(d.graph.num_qubits(), 5);
+  EXPECT_EQ(d.graph.num_edges(), 6u);
+  EXPECT_TRUE(d.graph.connected(2, 3));
+  EXPECT_FALSE(d.graph.connected(0, 4));
+}
+
+TEST(Devices, GridGenerator) {
+  const Device d = grid(3, 4);
+  EXPECT_EQ(d.graph.num_qubits(), 12);
+  EXPECT_EQ(d.graph.num_edges(), 17u);  // 3*3 + 2*4
+  EXPECT_EQ(d.graph.coordinate(7).row, 1);
+  EXPECT_EQ(d.graph.coordinate(7).col, 3);
+  EXPECT_EQ(d.graph.distance(0, 11), 5);
+}
+
+TEST(Devices, LinearAndRing) {
+  const Device lin = linear(5);
+  EXPECT_EQ(lin.graph.num_edges(), 4u);
+  EXPECT_EQ(lin.graph.distance(0, 4), 4);
+  const Device rng = ring(5);
+  EXPECT_EQ(rng.graph.num_edges(), 5u);
+  EXPECT_EQ(rng.graph.distance(0, 4), 1);
+  EXPECT_THROW(ring(2), ContractViolation);
+}
+
+TEST(Devices, PaperArchitecturesListAndOrder) {
+  const auto archs = paper_architectures();
+  ASSERT_EQ(archs.size(), 4u);
+  EXPECT_EQ(archs[0].graph.num_qubits(), 16);
+  EXPECT_EQ(archs[1].graph.num_qubits(), 36);
+  EXPECT_EQ(archs[2].graph.num_qubits(), 20);
+  EXPECT_EQ(archs[3].graph.num_qubits(), 54);
+}
+
+TEST(DeviceParameters, TableOneSurvey) {
+  const auto& params = table1_parameters();
+  ASSERT_EQ(params.size(), 6u);
+  // Superconducting 2q/1q ratio lands in the 2-4x band the paper uses.
+  for (const DeviceParameters& p : params) {
+    if (p.technology == "superconducting") {
+      const int ratio = duration_ratio_cycles(p);
+      EXPECT_GE(ratio, 2) << p.device;
+      EXPECT_LE(ratio, 4) << p.device;
+    }
+  }
+  // Ion traps are ~12x; neutral atoms ~1x.
+  EXPECT_EQ(duration_ratio_cycles(params[0]), 13);  // 250/20 rounded
+  EXPECT_EQ(duration_ratio_cycles(params[5]), 1);
+}
+
+}  // namespace
+}  // namespace codar::arch

@@ -1,0 +1,70 @@
+#include "codar/arch/durations.hpp"
+
+#include <gtest/gtest.h>
+
+namespace codar::arch {
+namespace {
+
+using ir::GateKind;
+
+TEST(DurationMap, SuperconductingDefaults) {
+  const DurationMap m = DurationMap::superconducting();
+  EXPECT_EQ(m.of(GateKind::kT), 1);
+  EXPECT_EQ(m.of(GateKind::kH), 1);
+  EXPECT_EQ(m.of(GateKind::kCX), 2);
+  EXPECT_EQ(m.of(GateKind::kCZ), 2);
+  EXPECT_EQ(m.of(GateKind::kSwap), 6);
+  EXPECT_EQ(m.of(GateKind::kBarrier), 0);
+  EXPECT_EQ(m.of(GateKind::kMeasure), 1);
+  // These are exactly the paper's motivating-example numbers (Fig. 1b).
+}
+
+TEST(DurationMap, IonTrapPreset) {
+  const DurationMap m = DurationMap::ion_trap();
+  EXPECT_EQ(m.of(GateKind::kRZ), 1);
+  EXPECT_EQ(m.of(GateKind::kCX), 12);
+  EXPECT_EQ(m.of(GateKind::kSwap), 36);
+}
+
+TEST(DurationMap, NeutralAtomPreset) {
+  const DurationMap m = DurationMap::neutral_atom();
+  // 2-qubit gates are *faster* than 1-qubit gates on neutral atoms.
+  EXPECT_LT(m.of(GateKind::kCX), m.of(GateKind::kH));
+  EXPECT_EQ(m.of(GateKind::kSwap), 3);
+}
+
+TEST(DurationMap, UniformPreset) {
+  const DurationMap m = DurationMap::uniform();
+  EXPECT_EQ(m.of(GateKind::kH), 1);
+  EXPECT_EQ(m.of(GateKind::kCX), 1);
+  EXPECT_EQ(m.of(GateKind::kSwap), 3);
+}
+
+TEST(DurationMap, SetOverridesSingleKind) {
+  DurationMap m;
+  m.set(GateKind::kCX, 7);
+  EXPECT_EQ(m.of(GateKind::kCX), 7);
+  EXPECT_EQ(m.of(GateKind::kCZ), 2);  // untouched
+  EXPECT_THROW(m.set(GateKind::kCX, -1), ContractViolation);
+}
+
+TEST(DurationMap, BulkSetters) {
+  DurationMap m;
+  m.set_all_single_qubit(3);
+  EXPECT_EQ(m.of(GateKind::kH), 3);
+  EXPECT_EQ(m.of(GateKind::kRZ), 3);
+  EXPECT_EQ(m.of(GateKind::kMeasure), 1);  // measure is not a unitary 1q gate
+  m.set_all_two_qubit(9);
+  EXPECT_EQ(m.of(GateKind::kCX), 9);
+  EXPECT_EQ(m.of(GateKind::kRZZ), 9);
+  EXPECT_EQ(m.of(GateKind::kSwap), 6);  // swap excluded from bulk 2q set
+}
+
+TEST(DurationMap, OfGateUsesKind) {
+  const DurationMap m;
+  EXPECT_EQ(m.of(ir::Gate::cx(0, 1)), 2);
+  EXPECT_EQ(m.of(ir::Gate::t(0)), 1);
+}
+
+}  // namespace
+}  // namespace codar::arch

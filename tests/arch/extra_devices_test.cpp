@@ -1,0 +1,75 @@
+#include "codar/arch/extra_devices.hpp"
+
+#include <gtest/gtest.h>
+
+namespace codar::arch {
+namespace {
+
+TEST(HeavyHex, DistanceThreeShape) {
+  const Device d = heavy_hex(3);
+  // 3 rows of 5 data qubits + connector rows of 2 and 1 = 18 qubits.
+  EXPECT_EQ(d.graph.num_qubits(), 18);
+  EXPECT_TRUE(d.graph.is_fully_connected());
+  EXPECT_TRUE(d.graph.has_coordinates());
+  // Heavy-hex is degree <= 3 everywhere.
+  for (ir::Qubit q = 0; q < d.graph.num_qubits(); ++q) {
+    EXPECT_LE(d.graph.neighbors(q).size(), 3u) << "qubit " << q;
+  }
+}
+
+TEST(HeavyHex, LargerDistances) {
+  for (const int dist : {5, 7}) {
+    const Device d = heavy_hex(dist);
+    EXPECT_TRUE(d.graph.is_fully_connected()) << d.name;
+    for (ir::Qubit q = 0; q < d.graph.num_qubits(); ++q) {
+      EXPECT_LE(d.graph.neighbors(q).size(), 3u);
+    }
+  }
+}
+
+TEST(HeavyHex, RejectsEvenOrTinyDistance) {
+  EXPECT_THROW(heavy_hex(2), ContractViolation);
+  EXPECT_THROW(heavy_hex(4), ContractViolation);
+  EXPECT_THROW(heavy_hex(1), ContractViolation);
+}
+
+TEST(RigettiOctagons, SingleRingIsAnOctagon) {
+  const Device d = rigetti_octagons(1);
+  EXPECT_EQ(d.graph.num_qubits(), 8);
+  EXPECT_EQ(d.graph.num_edges(), 8u);
+  EXPECT_TRUE(d.graph.is_fully_connected());
+  for (ir::Qubit q = 0; q < 8; ++q) {
+    EXPECT_EQ(d.graph.neighbors(q).size(), 2u);
+  }
+  // Opposite corners are 4 hops apart on a ring of 8.
+  EXPECT_EQ(d.graph.distance(0, 4), 4);
+}
+
+TEST(RigettiOctagons, ChainIsFusedByTwoCouplers) {
+  const Device d = rigetti_octagons(3);
+  EXPECT_EQ(d.graph.num_qubits(), 24);
+  EXPECT_EQ(d.graph.num_edges(), 8u * 3 + 2u * 2);
+  EXPECT_TRUE(d.graph.is_fully_connected());
+  // The fused qubits have degree 3.
+  EXPECT_EQ(d.graph.neighbors(2).size(), 3u);
+  EXPECT_EQ(d.graph.neighbors(15).size(), 3u);
+}
+
+TEST(IonTrapAllToAll, CompleteGraph) {
+  const Device d = ion_trap_all_to_all(6);
+  EXPECT_EQ(d.graph.num_qubits(), 6);
+  EXPECT_EQ(d.graph.num_edges(), 15u);
+  for (ir::Qubit a = 0; a < 6; ++a) {
+    for (ir::Qubit b = 0; b < 6; ++b) {
+      if (a != b) {
+        EXPECT_TRUE(d.graph.connected(a, b));
+        EXPECT_EQ(d.graph.distance(a, b), 1);
+      }
+    }
+  }
+  // Ion-trap durations: slow 2-qubit gates.
+  EXPECT_EQ(d.durations.of(ir::GateKind::kCX), 12);
+}
+
+}  // namespace
+}  // namespace codar::arch

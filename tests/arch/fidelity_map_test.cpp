@@ -1,0 +1,57 @@
+#include "codar/arch/fidelity_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace codar::arch {
+namespace {
+
+using ir::GateKind;
+
+TEST(FidelityMap, DefaultIsIdeal) {
+  const FidelityMap m;
+  for (std::size_t i = 0; i < ir::kGateKindCount; ++i) {
+    EXPECT_DOUBLE_EQ(m.of(static_cast<GateKind>(i)), 1.0);
+  }
+}
+
+TEST(FidelityMap, SettersValidateRange) {
+  FidelityMap m;
+  EXPECT_THROW(m.set(GateKind::kH, 1.5), ContractViolation);
+  EXPECT_THROW(m.set(GateKind::kH, -0.1), ContractViolation);
+  m.set(GateKind::kH, 0.99);
+  EXPECT_DOUBLE_EQ(m.of(GateKind::kH), 0.99);
+  EXPECT_DOUBLE_EQ(m.of(GateKind::kX), 1.0);
+}
+
+TEST(FidelityMap, SwapIsCubeOfTwoQubitFidelity) {
+  FidelityMap m;
+  m.set_all_two_qubit(0.9);
+  EXPECT_DOUBLE_EQ(m.of(GateKind::kCX), 0.9);
+  EXPECT_NEAR(m.of(GateKind::kSwap), std::pow(0.9, 3.0), 1e-12);
+  EXPECT_NEAR(m.of(GateKind::kCCX), std::pow(0.9, 6.0), 1e-12);
+}
+
+TEST(FidelityMap, SuperconductingPreset) {
+  const FidelityMap m = FidelityMap::superconducting();
+  EXPECT_NEAR(m.of(GateKind::kH), 0.9977, 1e-12);
+  EXPECT_NEAR(m.of(GateKind::kCX), 0.965, 1e-12);
+  EXPECT_NEAR(m.of(GateKind::kMeasure), 0.93, 1e-12);
+  // 1q gates are better than 2q gates (Table I).
+  EXPECT_GT(m.of(GateKind::kT), m.of(GateKind::kCZ));
+}
+
+TEST(FidelityMap, NeutralAtomHasWeakTwoQubitGates) {
+  const FidelityMap m = FidelityMap::neutral_atom();
+  EXPECT_NEAR(m.of(GateKind::kCX), 0.82, 1e-12);
+  EXPECT_GT(m.of(GateKind::kH), 0.9999);
+}
+
+TEST(FidelityMap, OfGateDelegatesToKind) {
+  const FidelityMap m = FidelityMap::ion_trap();
+  EXPECT_DOUBLE_EQ(m.of(ir::Gate::cx(0, 1)), m.of(GateKind::kCX));
+}
+
+}  // namespace
+}  // namespace codar::arch

@@ -1,0 +1,144 @@
+#include "codar/astar/astar_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "codar/arch/device.hpp"
+#include "codar/arch/extra_devices.hpp"
+#include "codar/schedule/scheduler.hpp"
+#include "codar/workloads/generators.hpp"
+#include "support/routing_checks.hpp"
+
+namespace codar::astar {
+namespace {
+
+using core::RoutingResult;
+using ir::Circuit;
+using testing::expect_routing_valid;
+using testing::expect_states_equivalent;
+
+TEST(AstarRouter, HardwareCompliantCircuitPassesThrough) {
+  const arch::Device dev = arch::linear(4);
+  Circuit c(4);
+  c.h(0);
+  c.cx(0, 1);
+  c.cx(2, 3);
+  const RoutingResult result = AstarRouter(dev).route(c);
+  EXPECT_EQ(result.stats.swaps_inserted, 0u);
+  expect_routing_valid(c, result, dev);
+}
+
+TEST(AstarRouter, FindsMinimalSwapCountOnALine) {
+  // CX q0,q2 on a 3-line needs exactly one SWAP; A* must find the optimum.
+  const arch::Device dev = arch::linear(3);
+  Circuit c(3);
+  c.cx(0, 2);
+  const RoutingResult result = AstarRouter(dev).route(c);
+  EXPECT_EQ(result.stats.swaps_inserted, 1u);
+  expect_routing_valid(c, result, dev);
+  expect_states_equivalent(c, result, dev);
+}
+
+TEST(AstarRouter, OptimalForDistanceThree) {
+  const arch::Device dev = arch::linear(4);
+  Circuit c(4);
+  c.cx(0, 3);
+  const RoutingResult result = AstarRouter(dev).route(c);
+  EXPECT_EQ(result.stats.swaps_inserted, 2u);  // D-1 is achievable
+  expect_routing_valid(c, result, dev);
+  expect_states_equivalent(c, result, dev);
+}
+
+TEST(AstarRouter, MultiGateLayerIsSolvedJointly) {
+  // Two crossing far gates in one layer: the A* searches the joint
+  // problem rather than routing them one at a time.
+  const arch::Device dev = arch::ring(6);
+  Circuit c(6);
+  c.cx(0, 3);
+  c.cx(1, 4);
+  const RoutingResult result = AstarRouter(dev).route(c);
+  expect_routing_valid(c, result, dev);
+  expect_states_equivalent(c, result, dev);
+  EXPECT_LE(result.stats.swaps_inserted, 4u);
+}
+
+TEST(AstarRouter, RejectsBadInputs) {
+  const arch::Device dev = arch::linear(3);
+  Circuit toffoli(3);
+  toffoli.ccx(0, 1, 2);
+  EXPECT_THROW(AstarRouter(dev).route(toffoli), ContractViolation);
+  AstarConfig bad;
+  bad.max_expansions = 0;
+  EXPECT_THROW(AstarRouter(dev, bad), ContractViolation);
+}
+
+TEST(AstarRouter, GreedyFallbackStillProducesValidRoutes) {
+  // A 1-expansion budget forces the fallback path on every layer.
+  AstarConfig cfg;
+  cfg.max_expansions = 1;
+  const arch::Device dev = arch::grid(3, 3);
+  const Circuit c = workloads::random_circuit(8, 150, 0.5, 5);
+  const RoutingResult result = AstarRouter(dev, cfg).route(c);
+  expect_routing_valid(c, result, dev);
+  expect_states_equivalent(c, result, dev);
+}
+
+TEST(AstarRouter, AllToAllNeedsNoSwaps) {
+  const arch::Device dev = arch::ion_trap_all_to_all(7);
+  const Circuit c = workloads::qft(7);
+  const RoutingResult result = AstarRouter(dev).route(c);
+  EXPECT_EQ(result.stats.swaps_inserted, 0u);
+  expect_routing_valid(c, result, dev);
+}
+
+TEST(AstarRouter, MeasureAndBarrierSurvive) {
+  const arch::Device dev = arch::linear(3);
+  Circuit c(3);
+  c.h(0);
+  const ir::Qubit fence[] = {0, 1};
+  c.barrier(fence);
+  c.cx(0, 2);
+  c.measure(2);
+  const RoutingResult result = AstarRouter(dev).route(c);
+  expect_routing_valid(c, result, dev);
+}
+
+struct AstarCase {
+  int num_qubits;
+  int num_gates;
+  std::uint64_t seed;
+};
+
+class AstarProperty : public ::testing::TestWithParam<AstarCase> {};
+
+TEST_P(AstarProperty, RandomCircuitsRouteAndVerify) {
+  const AstarCase& tc = GetParam();
+  const arch::Device dev = arch::grid(3, 3);
+  const Circuit c =
+      workloads::random_circuit(tc.num_qubits, tc.num_gates, 0.5, tc.seed);
+  const RoutingResult result = AstarRouter(dev).route(c);
+  expect_routing_valid(c, result, dev);
+  expect_states_equivalent(c, result, dev);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomCircuits, AstarProperty,
+    ::testing::Values(AstarCase{5, 80, 41}, AstarCase{7, 120, 42},
+                      AstarCase{9, 180, 43}, AstarCase{8, 140, 44}),
+    [](const ::testing::TestParamInfo<AstarCase>& param_info) {
+      return "q" + std::to_string(param_info.param.num_qubits) + "_s" +
+             std::to_string(param_info.param.seed);
+    });
+
+TEST(AstarRouter, ComparableToSabreOnMediumWorkload) {
+  // Sanity: the layered A* should land in the same swap-count ballpark as
+  // the greedy heuristics, not orders of magnitude off.
+  const arch::Device dev = arch::ibm_q20_tokyo();
+  const Circuit c = workloads::random_circuit(12, 400, 0.5, 17);
+  const RoutingResult result = AstarRouter(dev).route(c);
+  expect_routing_valid(c, result, dev);
+  EXPECT_LT(result.stats.swaps_inserted, 600u);
+  EXPECT_GT(result.stats.swaps_inserted, 10u);
+}
+
+}  // namespace
+}  // namespace codar::astar

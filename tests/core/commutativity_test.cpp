@@ -1,0 +1,178 @@
+#include "codar/core/commutativity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "codar/ir/unitary.hpp"
+
+namespace codar::core {
+namespace {
+
+using ir::Circuit;
+using ir::Gate;
+using ir::GateKind;
+using ir::Qubit;
+
+TEST(GatesCommute, DisjointAlwaysCommute) {
+  EXPECT_TRUE(gates_commute(Gate::cx(0, 1), Gate::cx(2, 3)));
+  EXPECT_TRUE(gates_commute(Gate::h(0), Gate::measure(1)));
+  EXPECT_TRUE(gates_commute(Gate::measure(0), Gate::measure(1)));
+}
+
+TEST(GatesCommute, MeasureAndBarrierBlockOverlaps) {
+  EXPECT_FALSE(gates_commute(Gate::measure(0), Gate::h(0)));
+  EXPECT_FALSE(gates_commute(Gate::measure(0), Gate::measure(0)));
+  const Qubit qs[] = {0, 1};
+  EXPECT_FALSE(gates_commute(Gate::barrier(qs), Gate::cx(0, 2)));
+  EXPECT_FALSE(gates_commute(Gate::z(0), Gate::measure(0)));
+}
+
+TEST(GatesCommute, PaperExampleSharedTargetCxs) {
+  // The paper's §IV-B example: CX q1,q3 then CX q2,q3 share the target q3
+  // and commute, so both are CF gates.
+  EXPECT_TRUE(gates_commute(Gate::cx(1, 3), Gate::cx(2, 3)));
+}
+
+TEST(GatesCommute, CxStructure) {
+  EXPECT_TRUE(gates_commute(Gate::cx(0, 1), Gate::cx(0, 2)));   // shared control
+  EXPECT_TRUE(gates_commute(Gate::cx(0, 2), Gate::cx(1, 2)));   // shared target
+  EXPECT_FALSE(gates_commute(Gate::cx(0, 1), Gate::cx(1, 2)));  // chain
+  EXPECT_FALSE(gates_commute(Gate::cx(0, 1), Gate::cx(1, 0)));  // reversed
+  EXPECT_TRUE(gates_commute(Gate::cx(0, 1), Gate::cx(0, 1)));   // identical
+}
+
+TEST(GatesCommute, DiagonalFamily) {
+  EXPECT_TRUE(gates_commute(Gate::t(0), Gate::cz(0, 1)));
+  EXPECT_TRUE(gates_commute(Gate::cu1(0, 1, 0.3), Gate::cu1(1, 2, 0.9)));
+  EXPECT_TRUE(gates_commute(Gate::rzz(0, 1, 0.5), Gate::crz(1, 2, 0.7)));
+  EXPECT_TRUE(gates_commute(Gate::rz(1, 0.2), Gate::rzz(0, 1, 0.4)));
+}
+
+TEST(GatesCommute, SingleQubitOnCxWires) {
+  EXPECT_TRUE(gates_commute(Gate::t(0), Gate::cx(0, 1)));    // diag on control
+  EXPECT_TRUE(gates_commute(Gate::x(1), Gate::cx(0, 1)));    // X on target
+  EXPECT_TRUE(gates_commute(Gate::rx(1, 0.5), Gate::cx(0, 1)));
+  EXPECT_FALSE(gates_commute(Gate::h(0), Gate::cx(0, 1)));
+  EXPECT_FALSE(gates_commute(Gate::h(1), Gate::cx(0, 1)));
+  EXPECT_FALSE(gates_commute(Gate::x(0), Gate::cx(0, 1)));
+  EXPECT_FALSE(gates_commute(Gate::t(1), Gate::cx(0, 1)));
+}
+
+TEST(GatesCommute, SwapNeverCommutesWithOverlapExceptSpecialCases) {
+  EXPECT_FALSE(gates_commute(Gate::swap(0, 1), Gate::h(0)));
+  EXPECT_FALSE(gates_commute(Gate::swap(0, 1), Gate::cx(1, 2)));
+  // SWAP commutes with a gate symmetric in both its qubits.
+  EXPECT_TRUE(gates_commute(Gate::swap(0, 1), Gate::cz(0, 1)));
+}
+
+/// Property check: the symbolic rule table must agree with the exact
+/// unitary ground truth for every pair of alphabet gates under every qubit
+/// overlap pattern on three wires.
+class CommutativityGroundTruth : public ::testing::Test {
+ protected:
+  static std::vector<Gate> gates_on(Qubit a, Qubit b) {
+    return {
+        Gate::x(a),          Gate::y(a),
+        Gate::z(a),          Gate::h(a),
+        Gate::s(a),          Gate::t(a),
+        Gate::sx(a),         Gate::rx(a, 0.7),
+        Gate::ry(a, 0.9),    Gate::rz(a, 1.1),
+        Gate::u1(a, 0.4),    Gate::u3(a, 0.2, 0.3, 0.4),
+        Gate::cx(a, b),      Gate::cx(b, a),
+        Gate::cz(a, b),      Gate::cy(a, b),
+        Gate::ch(a, b),      Gate::crz(a, b, 0.8),
+        Gate::cu1(a, b, 0.5), Gate::rzz(a, b, 0.6),
+        Gate::swap(a, b),
+    };
+  }
+};
+
+TEST_F(CommutativityGroundTruth, RuleTableMatchesMatrices) {
+  // Overlap patterns over wires {0,1,2}: identical pair, shared first,
+  // shared second, crossed.
+  const std::vector<std::pair<std::pair<Qubit, Qubit>,
+                              std::pair<Qubit, Qubit>>> patterns = {
+      {{0, 1}, {0, 1}}, {{0, 1}, {0, 2}}, {{0, 1}, {2, 1}},
+      {{0, 1}, {1, 2}}, {{0, 1}, {2, 0}},
+  };
+  int checked = 0;
+  for (const auto& [qa, qb] : patterns) {
+    for (const Gate& ga : gates_on(qa.first, qa.second)) {
+      for (const Gate& gb : gates_on(qb.first, qb.second)) {
+        const bool expected = ir::unitaries_commute(ga, gb);
+        const bool actual = gates_commute(ga, gb);
+        EXPECT_EQ(actual, expected)
+            << ga.to_string() << " vs " << gb.to_string();
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 2000);
+}
+
+TEST(CommutativeFront, PlainFrontWithoutCommutativity) {
+  Circuit c(3);
+  c.cx(0, 1);  // 0
+  c.cx(0, 2);  // 1 shares control with 0
+  c.h(2);      // 2 blocked by 1
+  const auto front = commutative_front(c, 0, /*use_commutativity=*/false);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0}));
+}
+
+TEST(CommutativeFront, SharedControlExposesBothCxs) {
+  Circuit c(3);
+  c.cx(0, 1);
+  c.cx(0, 2);
+  const auto front = commutative_front(c);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(CommutativeFront, PaperSharedTargetExample) {
+  Circuit c(4);
+  c.cx(1, 3);
+  c.cx(2, 3);
+  const auto front = commutative_front(c);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(CommutativeFront, QftPhaseLadderIsMutuallyCommuting) {
+  // All CU1 gates of a QFT layer commute; the front should contain every
+  // CU1 until the next H.
+  Circuit c(4);
+  c.cu1(1, 0, 0.5);
+  c.cu1(2, 0, 0.25);
+  c.cu1(3, 0, 0.125);
+  c.h(1);  // blocked: H does not commute with CU1 on the shared wire
+  const auto front = commutative_front(c);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(CommutativeFront, NonCommutingChainOnlyHead) {
+  Circuit c(2);
+  c.h(0);
+  c.t(0);
+  c.h(0);
+  const auto front = commutative_front(c);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0}));
+}
+
+TEST(CommutativeFront, WindowTruncatesScan) {
+  Circuit c(6);
+  for (Qubit q = 0; q < 6; ++q) c.h(q);  // all independent
+  EXPECT_EQ(commutative_front(c, 3).size(), 3u);
+  EXPECT_EQ(commutative_front(c, 0).size(), 6u);
+}
+
+TEST(CommutativeFront, PendingSubsetRespected) {
+  Circuit c(2);
+  c.h(0);   // gate 0 (already executed, not pending)
+  c.t(0);   // gate 1
+  c.x(1);   // gate 2
+  std::vector<ir::Gate> gates(c.gates().begin(), c.gates().end());
+  const std::vector<int> pending = {1, 2};
+  const auto front = commutative_front(gates, pending, 0, true);
+  // Positions are within the pending vector.
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 1}));
+}
+
+}  // namespace
+}  // namespace codar::core

@@ -1,0 +1,80 @@
+#include "codar/core/qubit_lock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace codar::core {
+namespace {
+
+TEST(QubitLockBank, StartsAllFree) {
+  const QubitLockBank bank(4);
+  for (Qubit q = 0; q < 4; ++q) {
+    EXPECT_EQ(bank.t_end(q), 0);
+    EXPECT_TRUE(bank.is_free(q, 0));
+  }
+}
+
+TEST(QubitLockBank, LockOccupiesUntilExpiry) {
+  // The paper's Fig. 3: lock t_end = 2 means busy until time 2.
+  QubitLockBank bank(2);
+  const Qubit qs[] = {0};
+  bank.lock(qs, 0, 2);
+  EXPECT_FALSE(bank.is_free(0, 0));
+  EXPECT_FALSE(bank.is_free(0, 1));
+  EXPECT_TRUE(bank.is_free(0, 2));
+  EXPECT_TRUE(bank.is_free(1, 0));
+}
+
+TEST(QubitLockBank, DifferentDurationsFreeAtDifferentTimes) {
+  // Fig. 2 mechanics: T (1 cycle) on q1 and CX (2 cycles) on q0,q2 -> q1
+  // frees at 1 while q0/q2 free at 2.
+  QubitLockBank bank(3);
+  const Qubit t_q[] = {1};
+  bank.lock(t_q, 0, 1);
+  const Qubit cx_q[] = {0, 2};
+  bank.lock(cx_q, 0, 2);
+  EXPECT_TRUE(bank.is_free(1, 1));
+  EXPECT_FALSE(bank.is_free(0, 1));
+  EXPECT_FALSE(bank.is_free(2, 1));
+  EXPECT_TRUE(bank.all_free(cx_q, 2));
+}
+
+TEST(QubitLockBank, AllFreeChecksEveryQubit) {
+  QubitLockBank bank(3);
+  const Qubit pair[] = {0, 2};
+  bank.lock(pair, 0, 3);
+  const Qubit mixed[] = {1, 2};
+  EXPECT_FALSE(bank.all_free(mixed, 1));
+  const Qubit only_free[] = {1};
+  EXPECT_TRUE(bank.all_free(only_free, 0));
+}
+
+TEST(QubitLockBank, RelockingBusyQubitViolatesContract) {
+  QubitLockBank bank(1);
+  const Qubit qs[] = {0};
+  bank.lock(qs, 0, 5);
+  EXPECT_THROW(bank.lock(qs, 3, 1), ContractViolation);
+  bank.lock(qs, 5, 1);  // fine at expiry
+  EXPECT_EQ(bank.t_end(0), 6);
+}
+
+TEST(QubitLockBank, NextExpiryAfter) {
+  QubitLockBank bank(3);
+  EXPECT_EQ(bank.next_expiry_after(0), 0);  // nothing pending
+  const Qubit q0[] = {0};
+  const Qubit q1[] = {1};
+  bank.lock(q0, 0, 6);
+  bank.lock(q1, 0, 2);
+  EXPECT_EQ(bank.next_expiry_after(0), 2);
+  EXPECT_EQ(bank.next_expiry_after(2), 6);
+  EXPECT_EQ(bank.next_expiry_after(6), 6);
+}
+
+TEST(QubitLockBank, ZeroDurationLockIsImmediatelyFree) {
+  QubitLockBank bank(1);
+  const Qubit qs[] = {0};
+  bank.lock(qs, 4, 0);
+  EXPECT_TRUE(bank.is_free(0, 4));
+}
+
+}  // namespace
+}  // namespace codar::core

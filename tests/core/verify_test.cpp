@@ -1,0 +1,135 @@
+#include "codar/core/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "codar/arch/device.hpp"
+
+namespace codar::core {
+namespace {
+
+using ir::Circuit;
+using layout::Layout;
+
+/// Hand-built valid routing: CX q0,q2 on a 3-qubit line via one SWAP.
+struct Fixture {
+  arch::Device device = arch::linear(3);
+  Circuit original{3, "orig"};
+  RoutingResult result{Circuit{3}, Layout{3, 3}, Layout{3, 3}, {}};
+
+  Fixture() {
+    original.h(0);
+    original.cx(0, 2);
+
+    Circuit routed(3);
+    routed.h(0);
+    routed.swap(1, 2);  // moves logical q2 to physical 1
+    routed.cx(0, 1);
+    Layout final_layout(3, 3);
+    final_layout.swap_physical(1, 2);
+    result = RoutingResult{std::move(routed), Layout{3, 3}, final_layout, {}};
+  }
+};
+
+TEST(VerifyRouting, AcceptsValidResult) {
+  const Fixture f;
+  const VerifyOutcome outcome =
+      verify_routing(f.original, f.result, f.device.graph);
+  EXPECT_TRUE(outcome.valid) << outcome.reason;
+}
+
+TEST(VerifyRouting, RejectsCouplingViolation) {
+  Fixture f;
+  Circuit bad(3);
+  bad.h(0);
+  bad.cx(0, 2);  // 0-2 not an edge of the line
+  f.result.circuit = std::move(bad);
+  f.result.final = Layout(3, 3);
+  const VerifyOutcome outcome =
+      verify_routing(f.original, f.result, f.device.graph);
+  EXPECT_FALSE(outcome.valid);
+  EXPECT_NE(outcome.reason.find("coupling"), std::string::npos);
+}
+
+TEST(VerifyRouting, RejectsDroppedGate) {
+  Fixture f;
+  Circuit bad(3);
+  bad.h(0);  // CX missing
+  f.result.circuit = std::move(bad);
+  f.result.final = Layout(3, 3);
+  const VerifyOutcome outcome =
+      verify_routing(f.original, f.result, f.device.graph);
+  EXPECT_FALSE(outcome.valid);
+  EXPECT_NE(outcome.reason.find("dropped"), std::string::npos);
+}
+
+TEST(VerifyRouting, RejectsInventedGate) {
+  Fixture f;
+  Circuit bad = f.result.circuit;
+  bad.x(2);  // not in the original
+  f.result.circuit = std::move(bad);
+  const VerifyOutcome outcome =
+      verify_routing(f.original, f.result, f.device.graph);
+  EXPECT_FALSE(outcome.valid);
+}
+
+TEST(VerifyRouting, RejectsIllegalReordering) {
+  // Original: H then T on the same wire (they do not commute).
+  const arch::Device device = arch::linear(2);
+  Circuit original(2);
+  original.h(0);
+  original.t(0);
+  Circuit reordered(2);
+  reordered.t(0);
+  reordered.h(0);
+  const RoutingResult result{std::move(reordered), Layout(2, 2), Layout(2, 2),
+                             {}};
+  const VerifyOutcome outcome =
+      verify_routing(original, result, device.graph);
+  EXPECT_FALSE(outcome.valid);
+}
+
+TEST(VerifyRouting, AcceptsCommutingReordering) {
+  // CX q1,q3 and CX q2,q3 share a target and commute — either order is a
+  // faithful execution (the paper's CF example). Star-ish device where
+  // both pairs are coupled directly.
+  arch::CouplingGraph g(4);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  g.add_edge(0, 3);
+  const arch::Device device{"star4", std::move(g), arch::DurationMap()};
+  Circuit original(4);
+  original.cx(1, 3);
+  original.cx(2, 3);
+  Circuit reordered(4);
+  reordered.cx(2, 3);
+  reordered.cx(1, 3);
+  const RoutingResult result{std::move(reordered), Layout(4, 4), Layout(4, 4),
+                             {}};
+  const VerifyOutcome outcome =
+      verify_routing(original, result, device.graph);
+  EXPECT_TRUE(outcome.valid) << outcome.reason;
+}
+
+TEST(VerifyRouting, RejectsWrongFinalLayout) {
+  Fixture f;
+  f.result.final = Layout(3, 3);  // claims identity, but a SWAP happened
+  const VerifyOutcome outcome =
+      verify_routing(f.original, f.result, f.device.graph);
+  EXPECT_FALSE(outcome.valid);
+  EXPECT_NE(outcome.reason.find("layout"), std::string::npos);
+}
+
+TEST(VerifyRouting, RejectsGateOnUnoccupiedQubit) {
+  const arch::Device device = arch::linear(3);
+  Circuit original(1);
+  original.h(0);
+  Circuit routed(3);
+  routed.h(2);  // physical 2 hosts no logical qubit
+  const RoutingResult result{std::move(routed), Layout(1, 3), Layout(1, 3),
+                             {}};
+  const VerifyOutcome outcome = verify_routing(original, result, device.graph);
+  EXPECT_FALSE(outcome.valid);
+}
+
+}  // namespace
+}  // namespace codar::core

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "codar/arch/device.hpp"
+#include "codar/core/codar_router.hpp"
+#include "codar/ir/decompose.hpp"
+#include "codar/sabre/sabre_router.hpp"
+#include "codar/schedule/scheduler.hpp"
+#include "codar/sim/noisy_simulator.hpp"
+#include "codar/workloads/generators.hpp"
+#include "codar/workloads/suite.hpp"
+#include "support/routing_checks.hpp"
+
+namespace codar {
+namespace {
+
+using core::CodarRouter;
+using core::RoutingResult;
+using ir::Circuit;
+using sabre::SabreRouter;
+using testing::expect_routing_valid;
+using testing::expect_states_equivalent;
+
+/// Both routers on a (device, workload) pair, sharing a SABRE-style
+/// initial mapping as the paper prescribes.
+struct PipelineCase {
+  const char* device;
+  const char* workload;
+};
+
+arch::Device make_device(const std::string& name) {
+  if (name == "q16") return arch::ibm_q16();
+  if (name == "tokyo") return arch::ibm_q20_tokyo();
+  if (name == "grid3x3") return arch::grid(3, 3);
+  if (name == "grid4x4") return arch::grid(4, 4);
+  if (name == "yorktown") return arch::ibm_q5_yorktown();
+  throw std::runtime_error("unknown device");
+}
+
+Circuit make_workload(const std::string& name) {
+  using namespace workloads;
+  if (name == "qft8") return qft(8);
+  if (name == "qft5") return qft(5);
+  if (name == "bv7") return bernstein_vazirani(7, 0b1011011);
+  if (name == "ghz9") return ghz(9);
+  if (name == "wstate5") return w_state(5);
+  if (name == "adder3") return ir::decompose_toffoli(cuccaro_adder(3));
+  if (name == "draper4") return draper_adder(4);
+  if (name == "grover4") return ir::decompose_toffoli(grover(4, 1));
+  if (name == "qaoa8") return qaoa_maxcut(8, 2, 3);
+  if (name == "random9") return random_circuit(9, 200, 0.5, 17);
+  throw std::runtime_error("unknown workload");
+}
+
+class RoutingPipeline : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(RoutingPipeline, BothRoutersProduceFaithfulCircuits) {
+  const arch::Device dev = make_device(GetParam().device);
+  const Circuit circuit = make_workload(GetParam().workload);
+  ASSERT_LE(circuit.num_qubits(), dev.graph.num_qubits());
+
+  const SabreRouter sabre(dev);
+  const layout::Layout initial = sabre.initial_mapping(circuit, 2, 7);
+
+  const RoutingResult codar_result = CodarRouter(dev).route(circuit, initial);
+  const RoutingResult sabre_result = sabre.route(circuit, initial);
+
+  expect_routing_valid(circuit, codar_result, dev);
+  expect_routing_valid(circuit, sabre_result, dev);
+  if (dev.graph.num_qubits() <= 16) {
+    expect_states_equivalent(circuit, codar_result, dev);
+    expect_states_equivalent(circuit, sabre_result, dev);
+  }
+
+  // Both must retire every original gate.
+  EXPECT_EQ(codar_result.circuit.size(),
+            circuit.size() + codar_result.stats.swaps_inserted);
+  EXPECT_EQ(sabre_result.circuit.size(),
+            circuit.size() + sabre_result.stats.swaps_inserted);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DeviceWorkloadMatrix, RoutingPipeline,
+    ::testing::Values(PipelineCase{"q16", "qft8"},
+                      PipelineCase{"q16", "bv7"},
+                      PipelineCase{"q16", "adder3"},
+                      PipelineCase{"tokyo", "ghz9"},
+                      PipelineCase{"tokyo", "qaoa8"},
+                      PipelineCase{"tokyo", "draper4"},
+                      PipelineCase{"grid4x4", "random9"},
+                      PipelineCase{"grid4x4", "grover4"},
+                      PipelineCase{"grid3x3", "qft5"},
+                      PipelineCase{"grid3x3", "wstate5"},
+                      PipelineCase{"yorktown", "qft5"},
+                      PipelineCase{"yorktown", "wstate5"}),
+    [](const ::testing::TestParamInfo<PipelineCase>& param_info) {
+      return std::string(param_info.param.device) + "_" + param_info.param.workload;
+    });
+
+TEST(HeadlineShape, CodarBeatsOrMatchesSabreOnAverage) {
+  // A miniature of Fig. 8: across a handful of benchmarks on IBM Q20,
+  // CODAR's weighted depth should win on average (individual benchmarks
+  // may tie or lose slightly, as in the paper's per-benchmark scatter).
+  const arch::Device dev = arch::ibm_q20_tokyo();
+  const std::vector<Circuit> circuits = {
+      workloads::qft(10), workloads::bernstein_vazirani(12, 0xABC),
+      workloads::draper_adder(5),
+      workloads::random_circuit(14, 500, 0.5, 55),
+      workloads::qaoa_maxcut(12, 2, 5)};
+  const SabreRouter sabre(dev);
+  const CodarRouter codar(dev);
+  double ratio_sum = 0.0;
+  for (const Circuit& c : circuits) {
+    const layout::Layout initial = sabre.initial_mapping(c, 2, 9);
+    const auto d_codar = schedule::weighted_depth(
+        codar.route(c, initial).circuit, dev.durations);
+    const auto d_sabre = schedule::weighted_depth(
+        sabre.route(c, initial).circuit, dev.durations);
+    ASSERT_GT(d_codar, 0);
+    ratio_sum += static_cast<double>(d_sabre) / static_cast<double>(d_codar);
+  }
+  const double avg_speedup = ratio_sum / static_cast<double>(circuits.size());
+  EXPECT_GT(avg_speedup, 1.0);
+}
+
+TEST(FidelityShape, ShorterScheduleGivesBetterDephasingFidelity) {
+  // Miniature of Fig. 9: route one algorithm both ways on a 3x3 lattice and
+  // compare noisy fidelity under dephasing-dominant noise. The router with
+  // the shorter weighted depth must not lose fidelity.
+  const arch::Device dev = arch::grid(3, 3);
+  const Circuit circuit = workloads::qft(5);
+  const SabreRouter sabre(dev);
+  const layout::Layout initial = sabre.initial_mapping(circuit, 2, 3);
+  const RoutingResult codar_result = CodarRouter(dev).route(circuit, initial);
+  const RoutingResult sabre_result = sabre.route(circuit, initial);
+
+  const sim::NoiseParams noise = sim::NoiseParams::dephasing_dominant(400.0);
+  const double f_codar = sim::noisy_fidelity_density(
+      codar_result.circuit, 9, dev.durations, noise);
+  const double f_sabre = sim::noisy_fidelity_density(
+      sabre_result.circuit, 9, dev.durations, noise);
+  const auto d_codar =
+      schedule::weighted_depth(codar_result.circuit, dev.durations);
+  const auto d_sabre =
+      schedule::weighted_depth(sabre_result.circuit, dev.durations);
+  if (d_codar < d_sabre) {
+    EXPECT_GT(f_codar, f_sabre - 0.02);
+  }
+  EXPECT_GT(f_codar, 0.2);
+  EXPECT_LE(f_codar, 1.0 + 1e-9);
+}
+
+TEST(SuiteSmoke, SmallSuiteEntriesRouteOnQ16) {
+  // Route every suite entry that fits a 16-qubit device and has a modest
+  // gate count; verify structural faithfulness for each.
+  const arch::Device dev = arch::ibm_q16();
+  const CodarRouter codar(dev);
+  int routed = 0;
+  for (const workloads::BenchmarkSpec& spec : workloads::benchmark_suite()) {
+    if (spec.circuit.num_qubits() > 16 || spec.circuit.size() > 800) continue;
+    const RoutingResult result = codar.route(spec.circuit);
+    expect_routing_valid(spec.circuit, result, dev);
+    ++routed;
+  }
+  EXPECT_GE(routed, 40);
+}
+
+}  // namespace
+}  // namespace codar

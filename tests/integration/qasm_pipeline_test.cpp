@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "codar/arch/device.hpp"
+#include "codar/core/codar_router.hpp"
+#include "codar/qasm/parser.hpp"
+#include "codar/qasm/writer.hpp"
+#include "support/routing_checks.hpp"
+
+namespace codar {
+namespace {
+
+// Full front-to-back pipeline: QASM text -> parse -> route -> emit QASM ->
+// re-parse -> the routed circuit still verifies.
+
+constexpr const char* kProgram = R"(OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[5];
+creg c[5];
+gate majority a,b,c1 { cx c1,b; cx c1,a; ccx a,b,c1; }
+h q[0];
+cu1(pi/4) q[3],q[0];
+cx q[0],q[4];
+t q[2];
+cx q[4],q[1];
+rz(pi/8) q[1];
+cx q[1],q[3];
+barrier q;
+measure q -> c;
+)";
+
+TEST(QasmPipeline, ParseRouteEmitReparse) {
+  const ir::Circuit parsed = qasm::parse(kProgram, "pipeline");
+  EXPECT_EQ(parsed.num_qubits(), 5);
+
+  const arch::Device dev = arch::ibm_q5_yorktown();
+  const core::CodarRouter router(dev);
+  const core::RoutingResult result = router.route(parsed);
+  testing::expect_routing_valid(parsed, result, dev);
+
+  const std::string emitted = qasm::to_qasm(result.circuit);
+  const ir::Circuit reparsed = qasm::parse(emitted, "reparsed");
+  ASSERT_EQ(reparsed.size(), result.circuit.size());
+  for (std::size_t i = 0; i < reparsed.size(); ++i) {
+    EXPECT_EQ(reparsed.gate(i), result.circuit.gate(i)) << "gate " << i;
+  }
+}
+
+TEST(QasmPipeline, UserGateDefinitionRoundTripsThroughRouting) {
+  const char* program = R"(OPENQASM 2.0;
+qreg q[4];
+gate entangle a, b { h a; cx a, b; }
+entangle q[0], q[3];
+entangle q[1], q[2];
+)";
+  const ir::Circuit parsed = qasm::parse(program);
+  ASSERT_EQ(parsed.size(), 4u);
+
+  const arch::Device dev = arch::linear(4);
+  const core::RoutingResult result = core::CodarRouter(dev).route(parsed);
+  testing::expect_routing_valid(parsed, result, dev);
+  testing::expect_states_equivalent(parsed, result, dev);
+}
+
+}  // namespace
+}  // namespace codar

@@ -1,0 +1,102 @@
+#include "codar/ir/circuit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace codar::ir {
+namespace {
+
+TEST(Circuit, StartsEmpty) {
+  const Circuit c(4, "test");
+  EXPECT_EQ(c.num_qubits(), 4);
+  EXPECT_EQ(c.name(), "test");
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(Circuit, AddAndAccess) {
+  Circuit c(3);
+  c.h(0);
+  c.cx(0, 1);
+  c.t(2);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.gate(0).kind(), GateKind::kH);
+  EXPECT_EQ(c.gate(1).kind(), GateKind::kCX);
+  EXPECT_EQ(c.gate(2).qubit(0), 2);
+}
+
+TEST(Circuit, RejectsOutOfRangeQubits) {
+  Circuit c(2);
+  EXPECT_THROW(c.h(2), ContractViolation);
+  EXPECT_THROW(c.cx(0, 5), ContractViolation);
+  EXPECT_THROW(c.gate(0), ContractViolation);
+}
+
+TEST(Circuit, CountsTwoQubitGatesAndSwaps) {
+  Circuit c(4);
+  c.h(0);
+  c.cx(0, 1);
+  c.swap(1, 2);
+  c.cz(2, 3);
+  c.ccx(0, 1, 2);
+  EXPECT_EQ(c.two_qubit_gate_count(), 3u);  // cx, swap, cz
+  EXPECT_EQ(c.swap_count(), 1u);
+}
+
+TEST(Circuit, UsedQubitCount) {
+  Circuit c(10);
+  EXPECT_EQ(c.used_qubit_count(), 0);
+  c.h(3);
+  EXPECT_EQ(c.used_qubit_count(), 4);
+  c.cx(3, 7);
+  EXPECT_EQ(c.used_qubit_count(), 8);
+}
+
+TEST(Circuit, ReversedReversesOrder) {
+  Circuit c(2);
+  c.h(0);
+  c.cx(0, 1);
+  c.t(1);
+  const Circuit r = c.reversed();
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.gate(0).kind(), GateKind::kT);
+  EXPECT_EQ(r.gate(1).kind(), GateKind::kCX);
+  EXPECT_EQ(r.gate(2).kind(), GateKind::kH);
+}
+
+TEST(Circuit, AppendConcatenates) {
+  Circuit a(3);
+  a.h(0);
+  Circuit b(3);
+  b.cx(1, 2);
+  a.append(b);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.gate(1).kind(), GateKind::kCX);
+}
+
+TEST(Circuit, AppendRejectsWiderCircuit) {
+  Circuit narrow(2);
+  Circuit wide(5);
+  EXPECT_THROW(narrow.append(wide), ContractViolation);
+}
+
+TEST(Circuit, RemappedRelocatesQubits) {
+  Circuit c(2);
+  c.h(0);
+  c.cx(0, 1);
+  const std::vector<Qubit> remap = {4, 2};
+  const Circuit r = c.remapped(remap, 5);
+  EXPECT_EQ(r.num_qubits(), 5);
+  EXPECT_EQ(r.gate(0).qubit(0), 4);
+  EXPECT_EQ(r.gate(1).qubit(0), 4);
+  EXPECT_EQ(r.gate(1).qubit(1), 2);
+}
+
+TEST(Circuit, RemappedRejectsShortMap) {
+  Circuit c(3);
+  c.h(2);
+  const std::vector<Qubit> remap = {0, 1};  // too short
+  EXPECT_THROW(c.remapped(remap, 5), ContractViolation);
+}
+
+}  // namespace
+}  // namespace codar::ir

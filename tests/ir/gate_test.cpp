@@ -1,0 +1,134 @@
+#include "codar/ir/gate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace codar::ir {
+namespace {
+
+TEST(GateInfo, EveryKindHasMetadata) {
+  for (std::size_t i = 0; i < kGateKindCount; ++i) {
+    const GateInfo& info = gate_info(static_cast<GateKind>(i));
+    EXPECT_NE(info.name, nullptr);
+    EXPECT_GE(info.num_params, 0);
+  }
+}
+
+TEST(GateInfo, AritiesMatchAlphabet) {
+  EXPECT_EQ(gate_info(GateKind::kH).num_qubits, 1);
+  EXPECT_EQ(gate_info(GateKind::kCX).num_qubits, 2);
+  EXPECT_EQ(gate_info(GateKind::kCCX).num_qubits, 3);
+  EXPECT_EQ(gate_info(GateKind::kU3).num_params, 3);
+  EXPECT_EQ(gate_info(GateKind::kRZ).num_params, 1);
+  EXPECT_EQ(gate_info(GateKind::kBarrier).num_qubits, -1);
+}
+
+TEST(GateClassification, DiagonalFamily) {
+  EXPECT_TRUE(is_diagonal(GateKind::kZ));
+  EXPECT_TRUE(is_diagonal(GateKind::kT));
+  EXPECT_TRUE(is_diagonal(GateKind::kRZ));
+  EXPECT_TRUE(is_diagonal(GateKind::kCZ));
+  EXPECT_TRUE(is_diagonal(GateKind::kCU1));
+  EXPECT_TRUE(is_diagonal(GateKind::kRZZ));
+  EXPECT_FALSE(is_diagonal(GateKind::kX));
+  EXPECT_FALSE(is_diagonal(GateKind::kH));
+  EXPECT_FALSE(is_diagonal(GateKind::kCX));
+  EXPECT_FALSE(is_diagonal(GateKind::kSwap));
+}
+
+TEST(GateClassification, XAxisFamily) {
+  EXPECT_TRUE(is_x_axis(GateKind::kX));
+  EXPECT_TRUE(is_x_axis(GateKind::kRX));
+  EXPECT_TRUE(is_x_axis(GateKind::kSX));
+  EXPECT_FALSE(is_x_axis(GateKind::kY));
+  EXPECT_FALSE(is_x_axis(GateKind::kH));
+}
+
+TEST(GateClassification, TwoQubitAndUnitary) {
+  EXPECT_TRUE(is_two_qubit(GateKind::kCX));
+  EXPECT_TRUE(is_two_qubit(GateKind::kSwap));
+  EXPECT_FALSE(is_two_qubit(GateKind::kH));
+  EXPECT_FALSE(is_two_qubit(GateKind::kCCX));
+  EXPECT_TRUE(is_unitary(GateKind::kH));
+  EXPECT_FALSE(is_unitary(GateKind::kMeasure));
+  EXPECT_FALSE(is_unitary(GateKind::kBarrier));
+}
+
+TEST(Gate, FactoryOperandsAndParams) {
+  const Gate g = Gate::cx(2, 5);
+  EXPECT_EQ(g.kind(), GateKind::kCX);
+  EXPECT_EQ(g.num_qubits(), 2);
+  EXPECT_EQ(g.qubit(0), 2);
+  EXPECT_EQ(g.qubit(1), 5);
+  EXPECT_EQ(g.num_params(), 0);
+
+  const Gate r = Gate::rz(1, 0.75);
+  EXPECT_EQ(r.num_params(), 1);
+  EXPECT_DOUBLE_EQ(r.param(0), 0.75);
+
+  const Gate u = Gate::u3(0, 0.1, 0.2, 0.3);
+  EXPECT_DOUBLE_EQ(u.param(0), 0.1);
+  EXPECT_DOUBLE_EQ(u.param(1), 0.2);
+  EXPECT_DOUBLE_EQ(u.param(2), 0.3);
+}
+
+TEST(Gate, RejectsDuplicateQubits) {
+  EXPECT_THROW(Gate::cx(3, 3), ContractViolation);
+  EXPECT_THROW(Gate::ccx(1, 2, 1), ContractViolation);
+}
+
+TEST(Gate, RejectsNegativeQubits) {
+  EXPECT_THROW(Gate::h(-1), ContractViolation);
+  EXPECT_THROW(Gate::cx(-2, 0), ContractViolation);
+}
+
+TEST(Gate, RejectsWrongArity) {
+  const Qubit qs[] = {0, 1};
+  EXPECT_THROW(Gate(GateKind::kH, qs), ContractViolation);
+  const Qubit one[] = {0};
+  const double ps[] = {0.5};
+  EXPECT_THROW(Gate(GateKind::kH, one, ps), ContractViolation);
+}
+
+TEST(Gate, ActsOnAndOverlaps) {
+  const Gate g = Gate::cx(1, 4);
+  EXPECT_TRUE(g.acts_on(1));
+  EXPECT_TRUE(g.acts_on(4));
+  EXPECT_FALSE(g.acts_on(2));
+  EXPECT_TRUE(g.overlaps(Gate::h(4)));
+  EXPECT_FALSE(g.overlaps(Gate::h(3)));
+  EXPECT_TRUE(g.overlaps(Gate::cx(4, 7)));
+}
+
+TEST(Gate, RemappedAppliesFunctionToAllOperands) {
+  const Gate g = Gate::ccx(0, 1, 2);
+  const Gate r = g.remapped([](Qubit q) { return q + 10; });
+  EXPECT_EQ(r.qubit(0), 10);
+  EXPECT_EQ(r.qubit(1), 11);
+  EXPECT_EQ(r.qubit(2), 12);
+  EXPECT_EQ(r.kind(), GateKind::kCCX);
+}
+
+TEST(Gate, EqualityIsStructural) {
+  EXPECT_EQ(Gate::cx(0, 1), Gate::cx(0, 1));
+  EXPECT_FALSE(Gate::cx(0, 1) == Gate::cx(1, 0));
+  EXPECT_FALSE(Gate::rz(0, 0.5) == Gate::rz(0, 0.6));
+  EXPECT_FALSE(Gate::x(0) == Gate::y(0));
+}
+
+TEST(Gate, ToStringRendersQasmStyle) {
+  EXPECT_EQ(Gate::cx(0, 3).to_string(), "cx q[0], q[3]");
+  EXPECT_EQ(Gate::t(2).to_string(), "t q[2]");
+  EXPECT_EQ(Gate::rz(1, 0.5).to_string(), "rz(0.5) q[1]");
+}
+
+TEST(Gate, BarrierAcceptsVariableOperandCount) {
+  const Qubit two[] = {0, 1};
+  const Gate b2 = Gate::barrier(two);
+  EXPECT_EQ(b2.num_qubits(), 2);
+  const Qubit three[] = {0, 1, 2};
+  EXPECT_EQ(Gate::barrier(three).num_qubits(), 3);
+  EXPECT_THROW(Gate::barrier({}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace codar::ir

@@ -1,0 +1,181 @@
+#include "codar/ir/peephole.hpp"
+
+#include <gtest/gtest.h>
+
+#include "codar/sim/statevector.hpp"
+#include "codar/workloads/generators.hpp"
+
+namespace codar::ir {
+namespace {
+
+void expect_equivalent(const Circuit& a, const Circuit& b,
+                       double tol = 1e-9) {
+  ASSERT_EQ(a.num_qubits(), b.num_qubits());
+  sim::Statevector sa(a.num_qubits());
+  sa.apply(a);
+  sim::Statevector sb(b.num_qubits());
+  sb.apply(b);
+  EXPECT_NEAR(sa.fidelity(sb), 1.0, tol);
+}
+
+TEST(Peephole, RemovesIdentities) {
+  Circuit c(2);
+  c.i(0);
+  c.h(1);
+  c.i(1);
+  const Circuit opt = peephole_optimize(c);
+  ASSERT_EQ(opt.size(), 1u);
+  EXPECT_EQ(opt.gate(0).kind(), GateKind::kH);
+}
+
+TEST(Peephole, CancelsAdjacentSelfInversePairs) {
+  Circuit c(3);
+  c.h(0);
+  c.h(0);
+  c.x(1);
+  c.x(1);
+  c.cx(1, 2);
+  c.cx(1, 2);
+  PeepholeStats stats;
+  const Circuit opt = peephole_optimize(c, &stats);
+  EXPECT_TRUE(opt.empty());
+  EXPECT_EQ(stats.gates_removed, 6u);
+}
+
+TEST(Peephole, CancelsAdjointPairs) {
+  Circuit c(1);
+  c.s(0);
+  c.sdg(0);
+  c.t(0);
+  c.tdg(0);
+  c.tdg(0);
+  c.t(0);
+  EXPECT_TRUE(peephole_optimize(c).empty());
+}
+
+TEST(Peephole, SymmetricGatesCancelInEitherOperandOrder) {
+  Circuit c(2);
+  c.cz(0, 1);
+  c.cz(1, 0);
+  c.swap(0, 1);
+  c.swap(1, 0);
+  EXPECT_TRUE(peephole_optimize(c).empty());
+}
+
+TEST(Peephole, CxDoesNotCancelWhenReversed) {
+  Circuit c(2);
+  c.cx(0, 1);
+  c.cx(1, 0);
+  const Circuit opt = peephole_optimize(c);
+  EXPECT_EQ(opt.size(), 2u);
+}
+
+TEST(Peephole, InterveningGateBlocksCancellation) {
+  Circuit c(2);
+  c.h(0);
+  c.t(0);
+  c.h(0);
+  EXPECT_EQ(peephole_optimize(c).size(), 3u);
+  Circuit c2(2);
+  c2.cx(0, 1);
+  c2.t(1);  // blocks on the target wire
+  c2.cx(0, 1);
+  EXPECT_EQ(peephole_optimize(c2).size(), 3u);
+}
+
+TEST(Peephole, DisjointGateDoesNotBlock) {
+  Circuit c(3);
+  c.h(0);
+  c.t(2);  // different wire entirely
+  c.h(0);
+  const Circuit opt = peephole_optimize(c);
+  ASSERT_EQ(opt.size(), 1u);
+  EXPECT_EQ(opt.gate(0).kind(), GateKind::kT);
+}
+
+TEST(Peephole, FusesRotations) {
+  Circuit c(2);
+  c.rz(0, 0.25);
+  c.rz(0, 0.50);
+  c.cu1(0, 1, 0.125);
+  c.cu1(1, 0, 0.375);  // symmetric: fuses across operand order
+  PeepholeStats stats;
+  const Circuit opt = peephole_optimize(c, &stats);
+  ASSERT_EQ(opt.size(), 2u);
+  EXPECT_DOUBLE_EQ(opt.gate(0).param(0), 0.75);
+  EXPECT_DOUBLE_EQ(opt.gate(1).param(0), 0.5);
+  EXPECT_EQ(stats.gates_fused, 2u);
+}
+
+TEST(Peephole, FusedZeroRotationDisappears) {
+  Circuit c(1);
+  c.rz(0, 0.5);
+  c.rz(0, -0.5);
+  EXPECT_TRUE(peephole_optimize(c).empty());
+}
+
+TEST(Peephole, CascadingCancellation) {
+  // Outer pair becomes adjacent after the inner pair cancels.
+  Circuit c(1);
+  c.h(0);
+  c.x(0);
+  c.x(0);
+  c.h(0);
+  EXPECT_TRUE(peephole_optimize(c).empty());
+}
+
+TEST(Peephole, FusionThenCancellationChains) {
+  Circuit c(1);
+  c.h(0);
+  c.rz(0, 0.7);
+  c.rz(0, -0.7);
+  c.h(0);
+  EXPECT_TRUE(peephole_optimize(c).empty());
+}
+
+TEST(Peephole, BarrierBlocksOptimization) {
+  Circuit c(1);
+  c.h(0);
+  const Qubit qs[] = {0};
+  c.barrier(qs);
+  c.h(0);
+  EXPECT_EQ(peephole_optimize(c).size(), 3u);
+}
+
+TEST(Peephole, MeasureBlocksOptimization) {
+  Circuit c(1);
+  c.x(0);
+  c.measure(0);
+  c.x(0);
+  EXPECT_EQ(peephole_optimize(c).size(), 3u);
+}
+
+/// Property: optimizing a random circuit + its inverse-noise padding must
+/// preserve semantics exactly.
+class PeepholeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PeepholeProperty, PreservesSemanticsOnRandomCircuits) {
+  const Circuit c = workloads::random_circuit(5, 150, 0.4, GetParam());
+  const Circuit opt = peephole_optimize(c);
+  EXPECT_LE(opt.size(), c.size());
+  expect_equivalent(c, opt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PeepholeProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Peephole, ShrinksRedundantWorkload) {
+  // A deliberately wasteful circuit: pairs of H walls around a QFT.
+  Circuit c(4);
+  for (Qubit q = 0; q < 4; ++q) c.h(q);
+  for (Qubit q = 0; q < 4; ++q) c.h(q);
+  c.append(workloads::qft(4));
+  PeepholeStats stats;
+  const Circuit opt = peephole_optimize(c, &stats);
+  EXPECT_EQ(opt.size(), workloads::qft(4).size());
+  EXPECT_EQ(stats.gates_removed, 8u);
+  expect_equivalent(c, opt);
+}
+
+}  // namespace
+}  // namespace codar::ir

@@ -1,0 +1,188 @@
+#include "codar/ir/unitary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+#include <vector>
+
+namespace codar::ir {
+namespace {
+
+using std::numbers::pi;
+
+/// All unitary gate kinds with representative parameters.
+std::vector<Gate> representative_gates() {
+  return {
+      Gate::i(0),
+      Gate::x(0),
+      Gate::y(0),
+      Gate::z(0),
+      Gate::h(0),
+      Gate::s(0),
+      Gate::sdg(0),
+      Gate::t(0),
+      Gate::tdg(0),
+      Gate::sx(0),
+      Gate::rx(0, 0.7),
+      Gate::ry(0, 1.1),
+      Gate::rz(0, -0.4),
+      Gate::u1(0, 0.9),
+      Gate::u2(0, 0.3, 1.2),
+      Gate::u3(0, 0.5, 0.6, 0.7),
+      Gate::cx(0, 1),
+      Gate::cz(0, 1),
+      Gate::cy(0, 1),
+      Gate::ch(0, 1),
+      Gate::crz(0, 1, 0.8),
+      Gate::cu1(0, 1, 1.3),
+      Gate::rzz(0, 1, 0.6),
+      Gate::swap(0, 1),
+      Gate::ccx(0, 1, 2),
+  };
+}
+
+TEST(GateUnitary, EveryGateIsUnitary) {
+  for (const Gate& g : representative_gates()) {
+    const Matrix u = gate_unitary(g.kind(), g.params());
+    EXPECT_TRUE(u.is_unitary()) << g.to_string();
+    EXPECT_EQ(u.dim(), std::size_t{1} << g.num_qubits()) << g.to_string();
+  }
+}
+
+TEST(GateUnitary, NonUnitaryKindsThrow) {
+  EXPECT_THROW(gate_unitary(GateKind::kMeasure, {}), ContractViolation);
+  EXPECT_THROW(gate_unitary(GateKind::kBarrier, {}), ContractViolation);
+}
+
+TEST(GateUnitary, PauliRelations) {
+  const Matrix x = gate_unitary(GateKind::kX, {});
+  const Matrix y = gate_unitary(GateKind::kY, {});
+  const Matrix z = gate_unitary(GateKind::kZ, {});
+  // XY = iZ.
+  Matrix xy = x * y;
+  Matrix iz(2);
+  iz.at(0, 0) = Complex(0, 1);
+  iz.at(1, 1) = Complex(0, -1);
+  EXPECT_LT((xy - iz).max_abs(), 1e-12);
+  // Z^2 = I.
+  EXPECT_LT(((z * z) - Matrix::identity(2)).max_abs(), 1e-12);
+}
+
+TEST(GateUnitary, HadamardConjugatesXToZ) {
+  const Matrix h = gate_unitary(GateKind::kH, {});
+  const Matrix x = gate_unitary(GateKind::kX, {});
+  const Matrix z = gate_unitary(GateKind::kZ, {});
+  EXPECT_LT(((h * x * h) - z).max_abs(), 1e-12);
+}
+
+TEST(GateUnitary, SAndTAreZRoots) {
+  const Matrix s = gate_unitary(GateKind::kS, {});
+  const Matrix t = gate_unitary(GateKind::kT, {});
+  const Matrix z = gate_unitary(GateKind::kZ, {});
+  EXPECT_LT(((s * s) - z).max_abs(), 1e-12);
+  EXPECT_LT(((t * t) - s).max_abs(), 1e-12);
+}
+
+TEST(GateUnitary, SxSquaredIsX) {
+  const Matrix sx = gate_unitary(GateKind::kSX, {});
+  const Matrix x = gate_unitary(GateKind::kX, {});
+  EXPECT_LT(((sx * sx) - x).max_abs(), 1e-12);
+}
+
+TEST(GateUnitary, U3SubsumesRotations) {
+  // u3(theta, -pi/2, pi/2) = rx(theta).
+  const double theta = 0.93;
+  const double p_rx[] = {theta};
+  const double p_u3[] = {theta, -pi / 2.0, pi / 2.0};
+  const Matrix rx = gate_unitary(GateKind::kRX, p_rx);
+  const Matrix u3 = gate_unitary(GateKind::kU3, p_u3);
+  EXPECT_LT((rx - u3).max_abs(), 1e-12);
+}
+
+TEST(GateUnitary, CxMapsBasisCorrectly) {
+  // Local convention: control = bit 0, target = bit 1.
+  const Matrix cx = gate_unitary(GateKind::kCX, {});
+  // |c=1,t=0> (index 1) -> |c=1,t=1> (index 3).
+  EXPECT_EQ(cx.at(3, 1), Complex(1.0));
+  EXPECT_EQ(cx.at(1, 1), Complex(0.0));
+  // |c=0,t=0> fixed.
+  EXPECT_EQ(cx.at(0, 0), Complex(1.0));
+}
+
+TEST(GateUnitary, CcxFlipsOnlyWhenBothControlsSet) {
+  const Matrix ccx = gate_unitary(GateKind::kCCX, {});
+  // |c1=1,c2=1,t=0> = index 3 <-> index 7.
+  EXPECT_EQ(ccx.at(7, 3), Complex(1.0));
+  EXPECT_EQ(ccx.at(3, 7), Complex(1.0));
+  EXPECT_EQ(ccx.at(5, 5), Complex(1.0));  // only one control set: identity
+}
+
+TEST(Kron, LowBitsAreFirstFactor) {
+  const Matrix x = gate_unitary(GateKind::kX, {});
+  const Matrix id = Matrix::identity(2);
+  // kron(x, id): X acts on bit 0.
+  const Matrix m = kron(x, id);
+  EXPECT_EQ(m.at(1, 0), Complex(1.0));  // |00> -> |01> (bit0 flip)
+  EXPECT_EQ(m.at(3, 2), Complex(1.0));
+}
+
+TEST(Embed, SingleQubitInThreeQubitSpace) {
+  const Qubit joint[] = {5, 7, 9};
+  const Matrix m = embed(Gate::x(7), joint);
+  EXPECT_EQ(m.dim(), 8u);
+  // X on joint bit 1: |000> -> |010>.
+  EXPECT_EQ(m.at(2, 0), Complex(1.0));
+  EXPECT_EQ(m.at(0, 2), Complex(1.0));
+  EXPECT_TRUE(m.is_unitary());
+}
+
+TEST(Embed, CxRespectsJointOrdering) {
+  // Joint [3, 8]: qubit 3 = bit 0, qubit 8 = bit 1. CX control 8, target 3.
+  const Qubit joint[] = {3, 8};
+  const Matrix m = embed(Gate::cx(8, 3), joint);
+  // control = bit 1, target = bit 0: |10> (bit1 set, index 2) -> |11>.
+  EXPECT_EQ(m.at(3, 2), Complex(1.0));
+  EXPECT_EQ(m.at(1, 1), Complex(1.0));  // control clear: fixed
+}
+
+TEST(Embed, RequiresGateQubitsInJointSet) {
+  const Qubit joint[] = {0, 1};
+  EXPECT_THROW(embed(Gate::x(5), joint), ContractViolation);
+}
+
+TEST(UnitariesCommute, KnownPairs) {
+  // Disjoint gates commute.
+  EXPECT_TRUE(unitaries_commute(Gate::x(0), Gate::z(1)));
+  // X and Z on the same qubit anticommute.
+  EXPECT_FALSE(unitaries_commute(Gate::x(0), Gate::z(0)));
+  // Diagonal gates commute.
+  EXPECT_TRUE(unitaries_commute(Gate::t(0), Gate::rz(0, 0.3)));
+  // CX sharing control commute.
+  EXPECT_TRUE(unitaries_commute(Gate::cx(0, 1), Gate::cx(0, 2)));
+  // CX sharing target commute.
+  EXPECT_TRUE(unitaries_commute(Gate::cx(0, 2), Gate::cx(1, 2)));
+  // Control-meets-target does not commute.
+  EXPECT_FALSE(unitaries_commute(Gate::cx(0, 1), Gate::cx(1, 2)));
+  // Z on control of CX commutes; on target does not.
+  EXPECT_TRUE(unitaries_commute(Gate::z(0), Gate::cx(0, 1)));
+  EXPECT_FALSE(unitaries_commute(Gate::z(1), Gate::cx(0, 1)));
+  // X on target of CX commutes; on control does not.
+  EXPECT_TRUE(unitaries_commute(Gate::x(1), Gate::cx(0, 1)));
+  EXPECT_FALSE(unitaries_commute(Gate::x(0), Gate::cx(0, 1)));
+}
+
+TEST(Matrix, DaggerAndNorm) {
+  Matrix m(2);
+  m.at(0, 1) = Complex(0, 1);
+  const Matrix d = m.dagger();
+  EXPECT_EQ(d.at(1, 0), Complex(0, -1));
+  EXPECT_DOUBLE_EQ(m.max_abs(), 1.0);
+}
+
+TEST(Matrix, MultiplyDimensionMismatchThrows) {
+  Matrix a(2), b(4);
+  EXPECT_THROW(a * b, ContractViolation);
+}
+
+}  // namespace
+}  // namespace codar::ir

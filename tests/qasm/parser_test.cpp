@@ -1,0 +1,236 @@
+#include "codar/qasm/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "codar/qasm/lexer.hpp"
+
+namespace codar::qasm {
+namespace {
+
+using ir::GateKind;
+
+constexpr const char* kHeader =
+    "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+
+TEST(Parser, EmptyProgramIsEmptyCircuit) {
+  const ir::Circuit c = parse(kHeader);
+  EXPECT_EQ(c.num_qubits(), 0);
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(Parser, SingleRegisterAndGates) {
+  const ir::Circuit c = parse(std::string(kHeader) +
+                              "qreg q[3];\nh q[0];\ncx q[0],q[2];\n");
+  EXPECT_EQ(c.num_qubits(), 3);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.gate(0).kind(), GateKind::kH);
+  EXPECT_EQ(c.gate(1).kind(), GateKind::kCX);
+  EXPECT_EQ(c.gate(1).qubit(1), 2);
+}
+
+TEST(Parser, MultipleRegistersAreFlattened) {
+  const ir::Circuit c = parse(std::string(kHeader) +
+                              "qreg a[2];\nqreg b[3];\ncx a[1],b[0];\n");
+  EXPECT_EQ(c.num_qubits(), 5);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.gate(0).qubit(0), 1);  // a[1] -> 1
+  EXPECT_EQ(c.gate(0).qubit(1), 2);  // b[0] -> 2
+}
+
+TEST(Parser, ParameterExpressions) {
+  const ir::Circuit c = parse(std::string(kHeader) +
+                              "qreg q[1];\n"
+                              "rz(pi/4) q[0];\n"
+                              "rz(-pi/2) q[0];\n"
+                              "rz(2*pi/8+1) q[0];\n"
+                              "rz(sin(0)) q[0];\n"
+                              "rz(2^3) q[0];\n");
+  using std::numbers::pi;
+  EXPECT_DOUBLE_EQ(c.gate(0).param(0), pi / 4.0);
+  EXPECT_DOUBLE_EQ(c.gate(1).param(0), -pi / 2.0);
+  EXPECT_DOUBLE_EQ(c.gate(2).param(0), pi / 4.0 + 1.0);
+  EXPECT_DOUBLE_EQ(c.gate(3).param(0), 0.0);
+  EXPECT_DOUBLE_EQ(c.gate(4).param(0), 8.0);
+}
+
+TEST(Parser, RegisterBroadcast) {
+  const ir::Circuit c =
+      parse(std::string(kHeader) + "qreg q[3];\nh q;\n");
+  ASSERT_EQ(c.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(c.gate(i).kind(), GateKind::kH);
+    EXPECT_EQ(c.gate(i).qubit(0), static_cast<ir::Qubit>(i));
+  }
+}
+
+TEST(Parser, TwoRegisterBroadcast) {
+  const ir::Circuit c = parse(std::string(kHeader) +
+                              "qreg a[2];\nqreg b[2];\ncx a,b;\n");
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.gate(0).qubit(0), 0);
+  EXPECT_EQ(c.gate(0).qubit(1), 2);
+  EXPECT_EQ(c.gate(1).qubit(0), 1);
+  EXPECT_EQ(c.gate(1).qubit(1), 3);
+}
+
+TEST(Parser, MixedBroadcastScalar) {
+  const ir::Circuit c = parse(std::string(kHeader) +
+                              "qreg a[1];\nqreg b[3];\ncx a[0],b;\n");
+  ASSERT_EQ(c.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(c.gate(i).qubit(0), 0);
+}
+
+TEST(Parser, MeasureWithBroadcast) {
+  const ir::Circuit c = parse(std::string(kHeader) +
+                              "qreg q[2];\ncreg c[2];\nmeasure q -> c;\n");
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.gate(0).kind(), GateKind::kMeasure);
+  EXPECT_EQ(c.gate(1).qubit(0), 1);
+}
+
+TEST(Parser, MeasureSingleBit) {
+  const ir::Circuit c = parse(
+      std::string(kHeader) +
+      "qreg q[2];\ncreg c[2];\nmeasure q[1] -> c[0];\n");
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.gate(0).qubit(0), 1);
+}
+
+TEST(Parser, BarrierNarrowAndWide) {
+  const ir::Circuit narrow = parse(
+      std::string(kHeader) + "qreg q[2];\nbarrier q[0], q[1];\n");
+  ASSERT_EQ(narrow.size(), 1u);
+  EXPECT_EQ(narrow.gate(0).kind(), GateKind::kBarrier);
+
+  // Wide barrier becomes a chained fence of overlapping records.
+  const ir::Circuit wide =
+      parse(std::string(kHeader) + "qreg q[6];\nbarrier q;\n");
+  EXPECT_GE(wide.size(), 2u);
+  for (const ir::Gate& g : wide.gates()) {
+    EXPECT_EQ(g.kind(), GateKind::kBarrier);
+  }
+  // Consecutive chain links share a qubit (transitivity of the fence).
+  for (std::size_t i = 0; i + 1 < wide.size(); ++i) {
+    EXPECT_TRUE(wide.gate(i).overlaps(wide.gate(i + 1)));
+  }
+}
+
+TEST(Parser, UserGateDefinitionExpands) {
+  const ir::Circuit c = parse(std::string(kHeader) +
+                              "qreg q[2];\n"
+                              "gate bell a, b { h a; cx a, b; }\n"
+                              "bell q[0], q[1];\n");
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.gate(0).kind(), GateKind::kH);
+  EXPECT_EQ(c.gate(1).kind(), GateKind::kCX);
+}
+
+TEST(Parser, ParameterizedGateDefinition) {
+  const ir::Circuit c = parse(std::string(kHeader) +
+                              "qreg q[1];\n"
+                              "gate phase2(t) a { rz(t/2) a; rz(t/2) a; }\n"
+                              "phase2(pi) q[0];\n");
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_DOUBLE_EQ(c.gate(0).param(0), std::numbers::pi / 2.0);
+}
+
+TEST(Parser, NestedGateDefinitions) {
+  const ir::Circuit c = parse(std::string(kHeader) +
+                              "qreg q[2];\n"
+                              "gate inner a { h a; }\n"
+                              "gate outer a, b { inner a; cx a, b; inner b; }\n"
+                              "outer q[0], q[1];\n");
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.gate(2).kind(), GateKind::kH);
+  EXPECT_EQ(c.gate(2).qubit(0), 1);
+}
+
+TEST(Parser, OpaqueDeclarationIgnored) {
+  const ir::Circuit c = parse(std::string(kHeader) +
+                              "qreg q[1];\nopaque magic a;\nh q[0];\n");
+  ASSERT_EQ(c.size(), 1u);
+}
+
+TEST(Parser, ErrorUnknownGate) {
+  EXPECT_THROW(parse(std::string(kHeader) + "qreg q[1];\nfrobnicate q[0];\n"),
+               QasmError);
+}
+
+TEST(Parser, ErrorUnknownRegister) {
+  EXPECT_THROW(parse(std::string(kHeader) + "qreg q[1];\nh r[0];\n"),
+               QasmError);
+}
+
+TEST(Parser, ErrorIndexOutOfRange) {
+  EXPECT_THROW(parse(std::string(kHeader) + "qreg q[2];\nh q[2];\n"),
+               QasmError);
+}
+
+TEST(Parser, ErrorWrongArity) {
+  EXPECT_THROW(parse(std::string(kHeader) + "qreg q[2];\ncx q[0];\n"),
+               QasmError);
+  EXPECT_THROW(parse(std::string(kHeader) + "qreg q[1];\nrz q[0];\n"),
+               QasmError);
+}
+
+TEST(Parser, ErrorDuplicateOperand) {
+  EXPECT_THROW(parse(std::string(kHeader) + "qreg q[2];\ncx q[1],q[1];\n"),
+               QasmError);
+}
+
+TEST(Parser, ErrorUnsupportedConstructs) {
+  EXPECT_THROW(parse(std::string(kHeader) + "qreg q[1];\nreset q[0];\n"),
+               QasmError);
+  EXPECT_THROW(
+      parse(std::string(kHeader) +
+            "qreg q[1];\ncreg c[1];\nif (c==1) x q[0];\n"),
+      QasmError);
+}
+
+TEST(Parser, ErrorMismatchedBroadcast) {
+  EXPECT_THROW(
+      parse(std::string(kHeader) + "qreg a[2];\nqreg b[3];\ncx a,b;\n"),
+      QasmError);
+}
+
+TEST(Parser, ErrorPositionIsReported) {
+  try {
+    parse("OPENQASM 2.0;\nqreg q[1];\nbogus q[0];\n");
+    FAIL() << "expected QasmError";
+  } catch (const QasmError& e) {
+    EXPECT_EQ(e.line(), 3);
+  }
+}
+
+TEST(Parser, QiskitStyleProgramParses) {
+  // A representative snippet of the style emitted by Qiskit/ScaffCC.
+  const char* program = R"(OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+h q[0];
+cu1(pi/2) q[1],q[0];
+h q[1];
+cu1(pi/4) q[2],q[0];
+cu1(pi/2) q[2],q[1];
+h q[2];
+barrier q;
+measure q -> c;
+)";
+  const ir::Circuit c = parse(program, "qft4_fragment");
+  EXPECT_EQ(c.num_qubits(), 4);
+  EXPECT_EQ(c.name(), "qft4_fragment");
+  std::size_t cu1_count = 0;
+  std::size_t measures = 0;
+  for (const ir::Gate& g : c.gates()) {
+    if (g.kind() == GateKind::kCU1) ++cu1_count;
+    if (g.kind() == GateKind::kMeasure) ++measures;
+  }
+  EXPECT_EQ(cu1_count, 3u);
+  EXPECT_EQ(measures, 4u);
+}
+
+}  // namespace
+}  // namespace codar::qasm

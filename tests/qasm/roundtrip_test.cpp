@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "codar/qasm/parser.hpp"
+#include "codar/qasm/writer.hpp"
+#include "codar/workloads/generators.hpp"
+
+namespace codar::qasm {
+namespace {
+
+/// Writer -> parser round trip must reproduce the exact gate sequence.
+void expect_roundtrip(const ir::Circuit& original) {
+  const std::string text = to_qasm(original);
+  const ir::Circuit reparsed = parse(text, original.name());
+  ASSERT_EQ(reparsed.num_qubits(), original.num_qubits());
+  ASSERT_EQ(reparsed.size(), original.size()) << text;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(reparsed.gate(i), original.gate(i))
+        << "gate " << i << ": " << original.gate(i).to_string();
+  }
+}
+
+TEST(QasmRoundtrip, AllGateKindsSurvive) {
+  ir::Circuit c(4);
+  c.i(0);
+  c.x(0);
+  c.y(1);
+  c.z(2);
+  c.h(3);
+  c.s(0);
+  c.sdg(1);
+  c.t(2);
+  c.tdg(3);
+  c.sx(0);
+  c.rx(1, 0.25);
+  c.ry(2, -1.5);
+  c.rz(3, 3.14159);
+  c.u1(0, 0.5);
+  c.u2(1, 0.25, 0.75);
+  c.u3(2, 0.1, 0.2, 0.3);
+  c.cx(0, 1);
+  c.cz(1, 2);
+  c.cy(2, 3);
+  c.ch(3, 0);
+  c.crz(0, 2, 0.6);
+  c.cu1(1, 3, 0.7);
+  c.rzz(0, 3, 0.8);
+  c.swap(1, 2);
+  c.ccx(0, 1, 2);
+  c.measure(0);
+  expect_roundtrip(c);
+}
+
+TEST(QasmRoundtrip, ExtremeParameterValues) {
+  ir::Circuit c(1);
+  c.rz(0, 1e-15);
+  c.rz(0, 1e15);
+  c.rz(0, -2.718281828459045);
+  expect_roundtrip(c);
+}
+
+class GeneratorRoundtrip
+    : public ::testing::TestWithParam<ir::Circuit> {};
+
+TEST_P(GeneratorRoundtrip, SurvivesWriterParserLoop) {
+  expect_roundtrip(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, GeneratorRoundtrip,
+    ::testing::Values(workloads::qft(5), workloads::ghz(6),
+                      workloads::bernstein_vazirani(5, 0b10110),
+                      workloads::grover(4, 1), workloads::cuccaro_adder(3),
+                      workloads::draper_adder(3),
+                      workloads::qaoa_maxcut(6, 2, 7),
+                      workloads::random_circuit(6, 200, 0.4, 9)),
+    [](const ::testing::TestParamInfo<ir::Circuit>& param_info) {
+      std::string name = param_info.param.name();
+      for (char& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace codar::qasm

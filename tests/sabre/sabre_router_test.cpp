@@ -1,0 +1,145 @@
+#include "codar/sabre/sabre_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "codar/arch/device.hpp"
+#include "codar/schedule/scheduler.hpp"
+#include "codar/workloads/generators.hpp"
+#include "support/routing_checks.hpp"
+
+namespace codar::sabre {
+namespace {
+
+using core::RoutingResult;
+using ir::Circuit;
+using ir::GateKind;
+using testing::expect_routing_valid;
+using testing::expect_states_equivalent;
+
+TEST(SabreRouter, HardwareCompliantCircuitPassesThrough) {
+  const arch::Device dev = arch::linear(4);
+  Circuit c(4);
+  c.h(0);
+  c.cx(0, 1);
+  c.cx(2, 3);
+  const SabreRouter router(dev);
+  const RoutingResult result = router.route(c);
+  EXPECT_EQ(result.stats.swaps_inserted, 0u);
+  expect_routing_valid(c, result, dev);
+}
+
+TEST(SabreRouter, InsertsSwapsForDistantGate) {
+  const arch::Device dev = arch::linear(4);
+  Circuit c(4);
+  c.cx(0, 3);
+  const SabreRouter router(dev);
+  const RoutingResult result = router.route(c);
+  EXPECT_GE(result.stats.swaps_inserted, 2u);
+  expect_routing_valid(c, result, dev);
+  expect_states_equivalent(c, result, dev);
+}
+
+TEST(SabreRouter, RespectsDependencyOrder) {
+  const arch::Device dev = arch::linear(3);
+  Circuit c(3);
+  c.h(0);
+  c.cx(0, 2);
+  c.t(0);
+  const SabreRouter router(dev);
+  const RoutingResult result = router.route(c);
+  expect_routing_valid(c, result, dev);
+  expect_states_equivalent(c, result, dev);
+}
+
+TEST(SabreRouter, RejectsBadInputs) {
+  const arch::Device dev = arch::linear(3);
+  Circuit toffoli(3);
+  toffoli.ccx(0, 1, 2);
+  EXPECT_THROW(SabreRouter(dev).route(toffoli), ContractViolation);
+  Circuit wide(9);
+  wide.h(8);
+  EXPECT_THROW(SabreRouter(dev).route(wide), ContractViolation);
+}
+
+TEST(SabreRouter, LookaheadAndDecayKnobsWork) {
+  const arch::Device dev = arch::ibm_q20_tokyo();
+  const Circuit c = workloads::random_circuit(12, 300, 0.5, 77);
+  SabreConfig no_lookahead;
+  no_lookahead.extended_set_size = 0;
+  const RoutingResult plain = SabreRouter(dev, no_lookahead).route(c);
+  const RoutingResult full = SabreRouter(dev).route(c);
+  expect_routing_valid(c, plain, dev);
+  expect_routing_valid(c, full, dev);
+}
+
+TEST(SabreRouter, InitialMappingIsInjectiveAndDeterministic) {
+  const arch::Device dev = arch::ibm_q20_tokyo();
+  const Circuit c = workloads::qft(10);
+  const SabreRouter router(dev);
+  const layout::Layout a = router.initial_mapping(c, 2, 5);
+  const layout::Layout b = router.initial_mapping(c, 2, 5);
+  EXPECT_EQ(a, b);
+  std::vector<bool> used(20, false);
+  for (ir::Qubit q = 0; q < 10; ++q) {
+    const ir::Qubit p = a.physical(q);
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 20);
+    EXPECT_FALSE(used[static_cast<std::size_t>(p)]);
+    used[static_cast<std::size_t>(p)] = true;
+  }
+}
+
+TEST(SabreRouter, InitialMappingReducesSwapCount) {
+  // Reverse-traversal refinement should beat a random layout on average.
+  const arch::Device dev = arch::ibm_q20_tokyo();
+  const Circuit c = workloads::random_circuit(16, 600, 0.5, 99);
+  const SabreRouter router(dev);
+  const layout::Layout refined = router.initial_mapping(c, 3, 13);
+  const layout::Layout random = layout::random_layout(16, 20, 13);
+  const auto swaps_refined = router.route(c, refined).stats.swaps_inserted;
+  const auto swaps_random = router.route(c, random).stats.swaps_inserted;
+  EXPECT_LE(swaps_refined, swaps_random + swaps_random / 4)
+      << "refined mapping should not be much worse than random";
+}
+
+TEST(SabreRouter, EmitsOnlyDagFrontGates) {
+  // SABRE never reorders non-commuting gates: verified structurally by the
+  // CF matcher, which subsumes plain dependency order.
+  const arch::Device dev = arch::grid(3, 3);
+  const Circuit c = workloads::qft(7);
+  const RoutingResult result = SabreRouter(dev).route(c);
+  expect_routing_valid(c, result, dev);
+  expect_states_equivalent(c, result, dev);
+}
+
+struct SabreCase {
+  int num_qubits;
+  int num_gates;
+  std::uint64_t seed;
+};
+
+class SabreProperty : public ::testing::TestWithParam<SabreCase> {};
+
+TEST_P(SabreProperty, RandomCircuitsRouteAndVerify) {
+  const SabreCase& tc = GetParam();
+  const arch::Device dev = arch::grid(3, 3);
+  const Circuit c =
+      workloads::random_circuit(tc.num_qubits, tc.num_gates, 0.5, tc.seed);
+  const RoutingResult result = SabreRouter(dev).route(c);
+  expect_routing_valid(c, result, dev);
+  expect_states_equivalent(c, result, dev);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomCircuits, SabreProperty,
+    ::testing::Values(SabreCase{5, 60, 21}, SabreCase{7, 100, 22},
+                      SabreCase{9, 160, 23}, SabreCase{9, 240, 24},
+                      SabreCase{6, 90, 25}),
+    [](const ::testing::TestParamInfo<SabreCase>& param_info) {
+      return "q" + std::to_string(param_info.param.num_qubits) + "_g" +
+             std::to_string(param_info.param.num_gates) + "_s" +
+             std::to_string(param_info.param.seed);
+    });
+
+}  // namespace
+}  // namespace codar::sabre

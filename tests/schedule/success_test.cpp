@@ -1,0 +1,93 @@
+#include "codar/schedule/success.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace codar::schedule {
+namespace {
+
+using arch::DurationMap;
+using arch::FidelityMap;
+using ir::Circuit;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(EstimateSuccess, IdealEverythingIsOne) {
+  Circuit c(2);
+  c.h(0);
+  c.cx(0, 1);
+  const EspBreakdown esp =
+      estimate_success(c, DurationMap(), FidelityMap(), kInf);
+  EXPECT_DOUBLE_EQ(esp.gate_factor, 1.0);
+  EXPECT_DOUBLE_EQ(esp.coherence_factor, 1.0);
+  EXPECT_DOUBLE_EQ(esp.esp(), 1.0);
+}
+
+TEST(EstimateSuccess, GateFactorIsProductOfFidelities) {
+  Circuit c(2);
+  c.h(0);
+  c.cx(0, 1);
+  c.cx(0, 1);
+  FidelityMap fid;
+  fid.set(ir::GateKind::kH, 0.99);
+  fid.set(ir::GateKind::kCX, 0.95);
+  const EspBreakdown esp = estimate_success(c, DurationMap(), fid, kInf);
+  EXPECT_NEAR(esp.gate_factor, 0.99 * 0.95 * 0.95, 1e-12);
+}
+
+TEST(EstimateSuccess, CoherenceFactorUsesQubitLifetimes) {
+  Circuit c(2);
+  c.h(0);      // q0 alive 0..1
+  c.cx(0, 1);  // both alive to 3; q1 from 1
+  const EspBreakdown esp =
+      estimate_success(c, DurationMap(), FidelityMap(), 100.0);
+  // Exposure: q0 = 3 - 0, q1 = 3 - 1 -> 5 cycles total.
+  EXPECT_NEAR(esp.coherence_factor, std::exp(-5.0 / 100.0), 1e-12);
+}
+
+TEST(EstimateSuccess, UntouchedQubitsDoNotDecohere) {
+  Circuit c(5);
+  c.h(0);
+  const EspBreakdown esp =
+      estimate_success(c, DurationMap(), FidelityMap(), 10.0);
+  EXPECT_NEAR(esp.coherence_factor, std::exp(-1.0 / 10.0), 1e-12);
+}
+
+TEST(EstimateSuccess, LongerScheduleLowersEsp) {
+  Circuit fast(2);
+  fast.h(0);
+  fast.cx(0, 1);
+  Circuit slow(2);
+  slow.h(0);
+  for (int i = 0; i < 8; ++i) slow.t(0);
+  slow.cx(0, 1);
+  const FidelityMap fid = FidelityMap::superconducting();
+  const double esp_fast =
+      estimate_success(fast, DurationMap(), fid, 50.0).esp();
+  const double esp_slow =
+      estimate_success(slow, DurationMap(), fid, 50.0).esp();
+  EXPECT_GT(esp_fast, esp_slow);
+}
+
+TEST(EstimateSuccess, MoreSwapsLowerGateFactor) {
+  Circuit direct(2);
+  direct.cx(0, 1);
+  Circuit swapped(3);
+  swapped.swap(1, 2);
+  swapped.cx(0, 1);
+  const FidelityMap fid = FidelityMap::superconducting();
+  EXPECT_GT(estimate_success(direct, DurationMap(), fid, kInf).gate_factor,
+            estimate_success(swapped, DurationMap(), fid, kInf).gate_factor);
+}
+
+TEST(EstimateSuccess, RejectsNonPositiveCoherence) {
+  Circuit c(1);
+  c.h(0);
+  EXPECT_THROW(estimate_success(c, DurationMap(), FidelityMap(), 0.0),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace codar::schedule

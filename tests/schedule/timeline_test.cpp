@@ -1,0 +1,95 @@
+#include "codar/schedule/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace codar::schedule {
+namespace {
+
+using arch::DurationMap;
+using ir::Circuit;
+
+TEST(TimelineStats, EmptyCircuit) {
+  const Circuit c(3);
+  const TimelineStats stats = analyze_timeline(c, DurationMap());
+  EXPECT_EQ(stats.makespan, 0);
+  EXPECT_EQ(stats.mean_parallelism, 0.0);
+}
+
+TEST(TimelineStats, FullyParallelLayer) {
+  Circuit c(4);
+  for (ir::Qubit q = 0; q < 4; ++q) c.h(q);
+  const TimelineStats stats = analyze_timeline(c, DurationMap());
+  EXPECT_EQ(stats.makespan, 1);
+  EXPECT_DOUBLE_EQ(stats.mean_parallelism, 4.0);
+  EXPECT_DOUBLE_EQ(stats.qubit_utilization, 1.0);
+}
+
+TEST(TimelineStats, SerialChain) {
+  Circuit c(1);
+  c.h(0);
+  c.t(0);
+  const TimelineStats stats = analyze_timeline(c, DurationMap());
+  EXPECT_EQ(stats.makespan, 2);
+  EXPECT_DOUBLE_EQ(stats.mean_parallelism, 1.0);
+  EXPECT_EQ(stats.busiest_qubit, 0);
+  EXPECT_EQ(stats.busiest_qubit_cycles, 2);
+}
+
+TEST(TimelineStats, TwoQubitGateCountsBothWires) {
+  Circuit c(2);
+  c.cx(0, 1);  // 2 cycles on both qubits
+  const TimelineStats stats = analyze_timeline(c, DurationMap());
+  EXPECT_EQ(stats.makespan, 2);
+  EXPECT_DOUBLE_EQ(stats.qubit_utilization, 1.0);
+  EXPECT_DOUBLE_EQ(stats.mean_parallelism, 1.0);
+}
+
+TEST(TimelineStats, IdleTimeLowersUtilization) {
+  Circuit c(2);
+  c.h(0);      // busy 1 cycle
+  c.cx(0, 1);  // both busy 2 more
+  const TimelineStats stats = analyze_timeline(c, DurationMap());
+  EXPECT_EQ(stats.makespan, 3);
+  // Qubit 0 busy 3/3; qubit 1 busy 2/3 -> utilization 5/6.
+  EXPECT_NEAR(stats.qubit_utilization, 5.0 / 6.0, 1e-12);
+}
+
+TEST(RenderTimeline, ShowsGatesAndIdle) {
+  Circuit c(2);
+  c.h(0);
+  c.cx(0, 1);
+  const std::string gantt = render_timeline(c, DurationMap());
+  // Q0: H then CC; Q1: idle then CC.
+  EXPECT_NE(gantt.find("Q0  |HCC"), std::string::npos) << gantt;
+  EXPECT_NE(gantt.find("Q1  |.CC"), std::string::npos) << gantt;
+  EXPECT_NE(gantt.find("t = 0..3"), std::string::npos);
+}
+
+TEST(RenderTimeline, SwapRendersAsS) {
+  Circuit c(2);
+  c.swap(0, 1);
+  const std::string gantt = render_timeline(c, DurationMap());
+  EXPECT_NE(gantt.find("SSSSSS"), std::string::npos) << gantt;
+}
+
+TEST(RenderTimeline, TruncatesLongSchedules) {
+  Circuit c(1);
+  for (int i = 0; i < 50; ++i) c.h(0);
+  const std::string gantt = render_timeline(c, DurationMap(), 10);
+  EXPECT_NE(gantt.find("..."), std::string::npos);
+  EXPECT_NE(gantt.find("t = 0..50"), std::string::npos);
+}
+
+TEST(RenderTimeline, BarrierLeavesMark) {
+  Circuit c(2);
+  c.h(0);
+  const ir::Qubit both[] = {0, 1};
+  c.barrier(both);
+  c.h(1);
+  const std::string gantt = render_timeline(c, DurationMap());
+  // Q0 runs H in cycle 0 and hits the zero-width barrier at cycle 1.
+  EXPECT_NE(gantt.find("H|"), std::string::npos) << gantt;
+}
+
+}  // namespace
+}  // namespace codar::schedule

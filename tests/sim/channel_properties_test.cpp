@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codar/sim/noisy_simulator.hpp"
+#include "codar/workloads/generators.hpp"
+
+namespace codar::sim {
+namespace {
+
+using ir::Gate;
+
+// Physics property tests of the noise channels: Kraus completeness,
+// channel composition laws, and trajectory-vs-exact agreement sweeps.
+
+TEST(ChannelProperties, KrausCompleteness) {
+  // Σ K_i† K_i = I for both channels across the parameter range.
+  for (const double p : {0.0, 0.1, 0.37, 0.5, 0.9, 1.0}) {
+    for (const auto& kraus : {dephasing_kraus(p), damping_kraus(p)}) {
+      ir::Matrix sum(2);
+      for (const ir::Matrix& k : kraus) {
+        sum = sum + (k.dagger() * k);
+      }
+      EXPECT_LT((sum - ir::Matrix::identity(2)).max_abs(), 1e-12)
+          << "p=" << p;
+    }
+  }
+}
+
+TEST(ChannelProperties, DephasingComposesLikeElapsedTime) {
+  // Applying dephasing for t1 then t2 must equal one application for
+  // t1 + t2 (the channel family is a semigroup in elapsed time).
+  const NoiseParams noise = NoiseParams::dephasing_dominant(50.0);
+  DensityMatrix split(1);
+  split.apply(Gate::h(0));
+  split.apply_kraus_1q(dephasing_kraus(noise.dephasing_prob(12.0)), 0);
+  split.apply_kraus_1q(dephasing_kraus(noise.dephasing_prob(30.0)), 0);
+  DensityMatrix joint(1);
+  joint.apply(Gate::h(0));
+  joint.apply_kraus_1q(dephasing_kraus(noise.dephasing_prob(42.0)), 0);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      EXPECT_NEAR(std::abs(split.entry(r, c) - joint.entry(r, c)), 0.0,
+                  1e-12);
+    }
+  }
+}
+
+TEST(ChannelProperties, DampingComposesLikeElapsedTime) {
+  const NoiseParams noise = NoiseParams::damping_dominant(40.0);
+  DensityMatrix split(1);
+  split.apply(Gate::x(0));
+  split.apply_kraus_1q(damping_kraus(noise.damping_prob(8.0)), 0);
+  split.apply_kraus_1q(damping_kraus(noise.damping_prob(22.0)), 0);
+  DensityMatrix joint(1);
+  joint.apply(Gate::x(0));
+  joint.apply_kraus_1q(damping_kraus(noise.damping_prob(30.0)), 0);
+  EXPECT_NEAR(split.probability_one(0), joint.probability_one(0), 1e-12);
+  EXPECT_NEAR(split.probability_one(0), std::exp(-30.0 / 40.0), 1e-12);
+}
+
+TEST(ChannelProperties, DephasingFixesZBasisStates) {
+  // Computational basis states are immune to pure dephasing.
+  DensityMatrix rho(2);
+  rho.apply(Gate::x(1));
+  rho.apply_kraus_1q(dephasing_kraus(0.5), 0);
+  rho.apply_kraus_1q(dephasing_kraus(0.5), 1);
+  EXPECT_NEAR(rho.probability_one(1), 1.0, 1e-12);
+  EXPECT_NEAR(rho.probability_one(0), 0.0, 1e-12);
+}
+
+TEST(ChannelProperties, FullDampingResetsToGround) {
+  DensityMatrix rho(1);
+  rho.apply(Gate::h(0));
+  rho.apply_kraus_1q(damping_kraus(1.0), 0);
+  EXPECT_NEAR(rho.probability_one(0), 0.0, 1e-12);
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+}
+
+/// Trajectory-vs-exact agreement over a grid of noise strengths.
+struct SweepCase {
+  double t1;
+  double t2;
+};
+
+class TrajectoryAgreement : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(TrajectoryAgreement, MatchesDensityMatrixWithinSamplingError) {
+  const SweepCase& tc = GetParam();
+  const NoiseParams noise{tc.t1, tc.t2};
+  const ir::Circuit c = workloads::ghz(3);
+  const arch::DurationMap durations;
+  const double exact = noisy_fidelity_density(c, 3, durations, noise);
+  const double sampled =
+      noisy_fidelity_trajectories(c, 3, durations, noise, 800, 99);
+  EXPECT_NEAR(sampled, exact, 0.07)
+      << "T1=" << tc.t1 << " T2=" << tc.t2;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NoiseGrid, TrajectoryAgreement,
+    ::testing::Values(SweepCase{30.0, 1e18}, SweepCase{1e18, 30.0},
+                      SweepCase{60.0, 60.0}, SweepCase{150.0, 40.0},
+                      SweepCase{40.0, 150.0}),
+    [](const ::testing::TestParamInfo<SweepCase>& param_info) {
+      return "t1_" + std::to_string(static_cast<int>(
+                         std::min(param_info.param.t1, 999.0))) +
+             "_t2_" + std::to_string(static_cast<int>(
+                          std::min(param_info.param.t2, 999.0)));
+    });
+
+}  // namespace
+}  // namespace codar::sim

@@ -1,0 +1,121 @@
+#include "codar/sim/density_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codar/sim/noise_model.hpp"
+#include "codar/workloads/generators.hpp"
+
+namespace codar::sim {
+namespace {
+
+using ir::Circuit;
+using ir::Gate;
+
+TEST(DensityMatrix, InitializesToZeroProjector) {
+  const DensityMatrix rho(2);
+  EXPECT_EQ(rho.entry(0, 0), Complex(1.0));
+  EXPECT_EQ(rho.entry(1, 1), Complex(0.0));
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, PureEvolutionMatchesStatevector) {
+  Circuit c(3);
+  c.h(0);
+  c.cx(0, 1);
+  c.t(1);
+  c.cx(1, 2);
+  c.h(2);
+  DensityMatrix rho(3);
+  rho.apply(c);
+  Statevector psi(3);
+  psi.apply(c);
+  // rho == |psi><psi|.
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t col = 0; col < 8; ++col) {
+      const Complex expected = psi.amp(r) * std::conj(psi.amp(col));
+      EXPECT_NEAR(std::abs(rho.entry(r, col) - expected), 0.0, 1e-10);
+    }
+  }
+  EXPECT_NEAR(rho.fidelity(psi), 1.0, 1e-10);
+}
+
+TEST(DensityMatrix, TraceIsPreservedByUnitaries) {
+  DensityMatrix rho(4);
+  rho.apply(workloads::qft(4));
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-10);
+}
+
+TEST(DensityMatrix, DephasingKillsCoherences) {
+  DensityMatrix rho(1);
+  rho.apply(Gate::h(0));
+  EXPECT_NEAR(std::abs(rho.entry(0, 1)), 0.5, 1e-12);
+  // Full dephasing (p = 1/2) zeroes off-diagonals, keeps populations.
+  rho.apply_kraus_1q(dephasing_kraus(0.5), 0);
+  EXPECT_NEAR(std::abs(rho.entry(0, 1)), 0.0, 1e-12);
+  EXPECT_NEAR(rho.entry(0, 0).real(), 0.5, 1e-12);
+  EXPECT_NEAR(rho.entry(1, 1).real(), 0.5, 1e-12);
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, PartialDephasingShrinksCoherence) {
+  DensityMatrix rho(1);
+  rho.apply(Gate::h(0));
+  rho.apply_kraus_1q(dephasing_kraus(0.25), 0);
+  // Coherence scales by (1-2p) = 0.5.
+  EXPECT_NEAR(std::abs(rho.entry(0, 1)), 0.25, 1e-12);
+}
+
+TEST(DensityMatrix, AmplitudeDampingDecaysExcitedState) {
+  DensityMatrix rho(1);
+  rho.apply(Gate::x(0));
+  rho.apply_kraus_1q(damping_kraus(0.3), 0);
+  EXPECT_NEAR(rho.entry(1, 1).real(), 0.7, 1e-12);
+  EXPECT_NEAR(rho.entry(0, 0).real(), 0.3, 1e-12);
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+  // Ground state is a fixed point.
+  DensityMatrix ground(1);
+  ground.apply_kraus_1q(damping_kraus(0.9), 0);
+  EXPECT_NEAR(ground.entry(0, 0).real(), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, DampingOnlyTouchesItsQubit) {
+  DensityMatrix rho(2);
+  rho.apply(Gate::x(0));
+  rho.apply(Gate::x(1));
+  rho.apply_kraus_1q(damping_kraus(1.0), 0);
+  // Qubit 0 decayed to |0>, qubit 1 stays |1>: state |10> (index 2).
+  EXPECT_NEAR(rho.entry(2, 2).real(), 1.0, 1e-12);
+  EXPECT_NEAR(rho.probability_one(1), 1.0, 1e-12);
+  EXPECT_NEAR(rho.probability_one(0), 0.0, 1e-12);
+}
+
+TEST(DensityMatrix, FidelityAgainstOrthogonalStateIsZero) {
+  DensityMatrix rho(1);  // |0><0|
+  Statevector one(1);
+  one.apply(Gate::x(0));
+  EXPECT_NEAR(rho.fidelity(one), 0.0, 1e-12);
+}
+
+TEST(DensityMatrix, KrausChannelIsTracePreservingOnRandomState) {
+  DensityMatrix rho(2);
+  rho.apply(workloads::random_circuit(2, 30, 0.4, 5));
+  rho.apply_kraus_1q(dephasing_kraus(0.17), 0);
+  rho.apply_kraus_1q(damping_kraus(0.23), 1);
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-10);
+}
+
+TEST(DensityMatrix, MixedStateFidelityBetweenZeroAndOne) {
+  DensityMatrix rho(1);
+  rho.apply(Gate::h(0));
+  rho.apply_kraus_1q(dephasing_kraus(0.5), 0);  // fully mixed in X basis
+  Statevector plus(1);
+  plus.apply(Gate::h(0));
+  const double f = rho.fidelity(plus);
+  EXPECT_GT(f, 0.45);
+  EXPECT_LT(f, 0.55);
+}
+
+}  // namespace
+}  // namespace codar::sim

@@ -1,0 +1,124 @@
+#include "codar/sim/noisy_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codar/workloads/generators.hpp"
+
+namespace codar::sim {
+namespace {
+
+using arch::DurationMap;
+using ir::Circuit;
+
+TEST(NoiseParams, ProbabilitiesFollowExponentials) {
+  const NoiseParams p{100.0, 200.0};
+  EXPECT_NEAR(p.damping_prob(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(p.damping_prob(100.0), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(p.dephasing_prob(200.0), 0.5 * (1.0 - std::exp(-1.0)), 1e-12);
+  // Infinite times disable the channel.
+  const NoiseParams off;
+  EXPECT_EQ(off.damping_prob(1e6), 0.0);
+  EXPECT_EQ(off.dephasing_prob(1e6), 0.0);
+}
+
+TEST(NoiseParams, RegimeFactories) {
+  const NoiseParams deph = NoiseParams::dephasing_dominant(50.0);
+  EXPECT_TRUE(std::isinf(deph.t1));
+  EXPECT_DOUBLE_EQ(deph.t2, 50.0);
+  const NoiseParams damp = NoiseParams::damping_dominant(70.0);
+  EXPECT_TRUE(std::isinf(damp.t2));
+  EXPECT_DOUBLE_EQ(damp.t1, 70.0);
+}
+
+TEST(NoisySimulator, NoNoiseGivesUnitFidelity) {
+  const Circuit c = workloads::ghz(3);
+  const double f =
+      noisy_fidelity_density(c, 3, DurationMap(), NoiseParams{});
+  EXPECT_NEAR(f, 1.0, 1e-10);
+}
+
+TEST(NoisySimulator, FidelityDecreasesWithNoise) {
+  const Circuit c = workloads::ghz(4);
+  const DurationMap durations;
+  const double strong = noisy_fidelity_density(
+      c, 4, durations, NoiseParams::dephasing_dominant(10.0));
+  const double weak = noisy_fidelity_density(
+      c, 4, durations, NoiseParams::dephasing_dominant(1000.0));
+  EXPECT_LT(strong, weak);
+  EXPECT_GT(weak, 0.9);
+  EXPECT_GT(strong, 0.0);
+  EXPECT_LT(strong, 0.9);
+}
+
+TEST(NoisySimulator, LongerCircuitsLoseMoreFidelity) {
+  // Same logical content, one artificially serialized with idle qubits:
+  // time-based decoherence must punish the longer schedule.
+  Circuit fast(2, "fast");
+  fast.h(0);
+  fast.cx(0, 1);
+  Circuit slow(2, "slow");
+  slow.h(0);
+  for (int i = 0; i < 6; ++i) {
+    slow.x(1);
+    slow.x(1);  // busy-wait pairs of X: identity, but takes time
+  }
+  slow.cx(0, 1);
+  const NoiseParams noise = NoiseParams::dephasing_dominant(40.0);
+  const double f_fast = noisy_fidelity_density(fast, 2, DurationMap(), noise);
+  const double f_slow = noisy_fidelity_density(slow, 2, DurationMap(), noise);
+  EXPECT_GT(f_fast, f_slow);
+}
+
+TEST(NoisySimulator, DampingRegimeDecaysTowardGround) {
+  // Excite qubit 0, then stretch the schedule with gates on qubit 1 only:
+  // qubit 0 idles in |1> and must decay over the trailing makespan.
+  Circuit c(2);
+  c.x(0);
+  for (int i = 0; i < 20; ++i) c.t(1);
+  const DensityMatrix rho = run_noisy_density(
+      c, 2, DurationMap(), NoiseParams::damping_dominant(10.0));
+  // ~19 idle cycles at T1 = 10: population ~ exp(-1.9) ~ 0.15.
+  EXPECT_LT(rho.probability_one(0), 0.25);
+  EXPECT_GT(rho.probability_one(0), 0.05);
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-10);
+}
+
+TEST(NoisySimulator, TrajectoryAveragesApproachDensityResult) {
+  const Circuit c = workloads::ghz(3);
+  const DurationMap durations;
+  const NoiseParams noise{80.0, 80.0};
+  const double exact = noisy_fidelity_density(c, 3, durations, noise);
+  const double sampled =
+      noisy_fidelity_trajectories(c, 3, durations, noise, 600, 1234);
+  EXPECT_NEAR(sampled, exact, 0.08);
+}
+
+TEST(NoisySimulator, TrajectoriesAreSeedDeterministic) {
+  const Circuit c = workloads::ghz(3);
+  const NoiseParams noise{30.0, 30.0};
+  const Statevector a = run_noisy_trajectory(c, 3, DurationMap(), noise, 7);
+  const Statevector b = run_noisy_trajectory(c, 3, DurationMap(), noise, 7);
+  for (std::size_t i = 0; i < a.dim(); ++i) {
+    EXPECT_EQ(a.amp(i), b.amp(i));
+  }
+}
+
+TEST(NoisySimulator, TrajectoryStatesStayNormalized) {
+  const Circuit c = workloads::random_circuit(4, 60, 0.5, 3);
+  const Statevector psi = run_noisy_trajectory(
+      c, 4, DurationMap(), NoiseParams{25.0, 25.0}, 99);
+  EXPECT_NEAR(psi.norm_squared(), 1.0, 1e-9);
+}
+
+TEST(NoisySimulator, WiderRegisterThanCircuitIsAllowed) {
+  const Circuit c = workloads::ghz(3);
+  const double f = noisy_fidelity_density(
+      c, 5, DurationMap(), NoiseParams::dephasing_dominant(500.0));
+  EXPECT_GT(f, 0.8);
+  EXPECT_LE(f, 1.0 + 1e-12);
+}
+
+}  // namespace
+}  // namespace codar::sim

@@ -1,0 +1,146 @@
+#include "codar/sim/statevector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codar/workloads/generators.hpp"
+
+namespace codar::sim {
+namespace {
+
+using ir::Circuit;
+using ir::Gate;
+
+TEST(Statevector, InitializesToZeroState) {
+  const Statevector psi(3);
+  EXPECT_EQ(psi.dim(), 8u);
+  EXPECT_EQ(psi.amp(0), Complex(1.0));
+  for (std::size_t i = 1; i < 8; ++i) EXPECT_EQ(psi.amp(i), Complex(0.0));
+  EXPECT_DOUBLE_EQ(psi.norm_squared(), 1.0);
+}
+
+TEST(Statevector, HadamardMakesUniformSuperposition) {
+  Statevector psi(1);
+  psi.apply(Gate::h(0));
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(psi.amp(0).real(), inv_sqrt2, 1e-12);
+  EXPECT_NEAR(psi.amp(1).real(), inv_sqrt2, 1e-12);
+}
+
+TEST(Statevector, BellState) {
+  Statevector psi(2);
+  psi.apply(Gate::h(0));
+  psi.apply(Gate::cx(0, 1));
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::abs(psi.amp(0b00)), inv_sqrt2, 1e-12);
+  EXPECT_NEAR(std::abs(psi.amp(0b11)), inv_sqrt2, 1e-12);
+  EXPECT_NEAR(std::abs(psi.amp(0b01)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(psi.amp(0b10)), 0.0, 1e-12);
+}
+
+TEST(Statevector, XFlipsTargetBit) {
+  Statevector psi(2);
+  psi.apply(Gate::x(1));
+  EXPECT_EQ(psi.amp(0b10), Complex(1.0));
+}
+
+TEST(Statevector, CxControlIsFirstOperand) {
+  Statevector psi(2);
+  psi.apply(Gate::x(0));      // control on
+  psi.apply(Gate::cx(0, 1));  // flips target
+  EXPECT_NEAR(std::abs(psi.amp(0b11)), 1.0, 1e-12);
+
+  Statevector psi2(2);
+  psi2.apply(Gate::x(1));      // target on, control off
+  psi2.apply(Gate::cx(0, 1));  // no-op
+  EXPECT_NEAR(std::abs(psi2.amp(0b10)), 1.0, 1e-12);
+}
+
+TEST(Statevector, SwapExchangesAmplitudes) {
+  Statevector psi(2);
+  psi.apply(Gate::x(0));
+  psi.apply(Gate::swap(0, 1));
+  EXPECT_NEAR(std::abs(psi.amp(0b10)), 1.0, 1e-12);
+}
+
+TEST(Statevector, CcxIsControlledControlledNot) {
+  Statevector psi(3);
+  psi.apply(Gate::x(0));
+  psi.apply(Gate::x(1));
+  psi.apply(Gate::ccx(0, 1, 2));
+  EXPECT_NEAR(std::abs(psi.amp(0b111)), 1.0, 1e-12);
+
+  Statevector psi2(3);
+  psi2.apply(Gate::x(0));
+  psi2.apply(Gate::ccx(0, 1, 2));
+  EXPECT_NEAR(std::abs(psi2.amp(0b001)), 1.0, 1e-12);
+}
+
+TEST(Statevector, MeasureAndBarrierAreNoOps) {
+  Statevector psi(1);
+  psi.apply(Gate::h(0));
+  const Complex before = psi.amp(1);
+  psi.apply(Gate::measure(0));
+  const ir::Qubit qs[] = {0};
+  psi.apply(Gate::barrier(qs));
+  EXPECT_EQ(psi.amp(1), before);
+}
+
+TEST(Statevector, ProbabilityOne) {
+  Statevector psi(2);
+  psi.apply(Gate::h(0));
+  EXPECT_NEAR(psi.probability_one(0), 0.5, 1e-12);
+  EXPECT_NEAR(psi.probability_one(1), 0.0, 1e-12);
+}
+
+TEST(Statevector, InnerProductAndFidelity) {
+  Statevector a(1), b(1);
+  a.apply(Gate::h(0));
+  EXPECT_NEAR(std::abs(a.inner_product(b)), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(a.fidelity(b), 0.5, 1e-12);
+  EXPECT_NEAR(a.fidelity(a), 1.0, 1e-12);
+}
+
+TEST(Statevector, UnitaryEvolutionPreservesNorm) {
+  Statevector psi(4);
+  psi.apply(workloads::qft(4));
+  EXPECT_NEAR(psi.norm_squared(), 1.0, 1e-10);
+}
+
+TEST(Statevector, QftOfZeroIsUniform) {
+  const int n = 4;
+  Statevector psi(n);
+  psi.apply(workloads::qft(n));
+  const double expect_amp = 1.0 / std::sqrt(16.0);
+  for (std::size_t i = 0; i < psi.dim(); ++i) {
+    EXPECT_NEAR(std::abs(psi.amp(i)), expect_amp, 1e-10) << i;
+  }
+}
+
+TEST(Statevector, GhzStateHasTwoPeaks) {
+  Statevector psi(5);
+  psi.apply(workloads::ghz(5));
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::abs(psi.amp(0)), inv_sqrt2, 1e-12);
+  EXPECT_NEAR(std::abs(psi.amp(31)), inv_sqrt2, 1e-12);
+}
+
+TEST(Statevector, NonUnitaryMatrixChangesNorm) {
+  Statevector psi(1);
+  psi.apply(Gate::h(0));
+  ir::Matrix damp(2);  // |0><0| projector
+  damp.at(0, 0) = 1.0;
+  psi.apply_1q_matrix(damp, 0);
+  EXPECT_NEAR(psi.norm_squared(), 0.5, 1e-12);
+  psi.normalize();
+  EXPECT_NEAR(psi.norm_squared(), 1.0, 1e-12);
+}
+
+TEST(Statevector, RejectsOutOfRangeQubit) {
+  Statevector psi(2);
+  EXPECT_THROW(psi.apply(Gate::h(2)), ContractViolation);
+}
+
+}  // namespace
+}  // namespace codar::sim

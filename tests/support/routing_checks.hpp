@@ -1,0 +1,54 @@
+#pragma once
+
+// Shared assertions for routing tests: structural verification plus exact
+// state-vector equivalence between the original logical circuit and the
+// routed physical circuit.
+
+#include <gtest/gtest.h>
+
+#include "codar/arch/device.hpp"
+#include "codar/core/routing_result.hpp"
+#include "codar/core/verify.hpp"
+#include "codar/sim/statevector.hpp"
+
+namespace codar::testing {
+
+/// Structural verification (connectivity + faithful gate sequence +
+/// layout replay).
+inline void expect_routing_valid(const ir::Circuit& original,
+                                 const core::RoutingResult& result,
+                                 const arch::Device& device) {
+  const core::VerifyOutcome outcome =
+      core::verify_routing(original, result, device.graph);
+  EXPECT_TRUE(outcome.valid) << outcome.reason;
+}
+
+/// Exact semantic equivalence for small registers: the routed circuit's
+/// output state must equal the original circuit's state re-positioned by
+/// the final layout (ancilla physical qubits stay |0>).
+inline void expect_states_equivalent(const ir::Circuit& original,
+                                     const core::RoutingResult& result,
+                                     const arch::Device& device,
+                                     double tol = 1e-9) {
+  const int n_phys = device.graph.num_qubits();
+  ASSERT_LE(n_phys, 20) << "state-vector check limited to small devices";
+
+  sim::Statevector routed_state(n_phys);
+  routed_state.apply(result.circuit);
+
+  // Reference: original gates re-addressed through the *final* layout.
+  // Valid because the routed circuit's SWAPs shuttle states so that logical
+  // qubit q ends at physical position final.physical(q).
+  const ir::Circuit reference =
+      original.remapped(result.final.l2p(), n_phys);
+  sim::Statevector reference_state(n_phys);
+  reference_state.apply(reference);
+
+  for (std::size_t i = 0; i < routed_state.dim(); ++i) {
+    const auto diff = routed_state.amp(i) - reference_state.amp(i);
+    ASSERT_NEAR(std::abs(diff), 0.0, tol)
+        << "amplitude mismatch at basis state " << i;
+  }
+}
+
+}  // namespace codar::testing

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codar/sim/statevector.hpp"
+#include "codar/workloads/generators.hpp"
+
+namespace codar::workloads {
+namespace {
+
+using ir::GateKind;
+using sim::Statevector;
+
+TEST(Qpe, ExactPhasesAreRecoveredDeterministically) {
+  const int counting = 4;
+  for (const int j : {0, 1, 5, 9, 15}) {
+    const double theta = static_cast<double>(j) / 16.0;
+    const Circuit c = qpe(counting, theta);
+    Statevector psi(c.num_qubits());
+    psi.apply(c);
+    for (int bit = 0; bit < counting; ++bit) {
+      EXPECT_NEAR(psi.probability_one(bit),
+                  static_cast<double>((j >> bit) & 1), 1e-9)
+          << "j=" << j << " bit " << bit;
+    }
+  }
+}
+
+TEST(Qpe, InexactPhaseConcentratesNearTruth) {
+  // theta = 0.3 is not exactly representable on 4 bits; the most likely
+  // outcome must still be one of the two nearest grid points (4 or 5).
+  const Circuit c = qpe(4, 0.3);
+  Statevector psi(c.num_qubits());
+  psi.apply(c);
+  double best_p = 0.0;
+  int best_j = -1;
+  for (int j = 0; j < 16; ++j) {
+    double p = 0.0;
+    for (std::size_t i = 0; i < psi.dim(); ++i) {
+      if ((i & 15u) == static_cast<unsigned>(j)) p += std::norm(psi.amp(i));
+    }
+    if (p > best_p) {
+      best_p = p;
+      best_j = j;
+    }
+  }
+  EXPECT_TRUE(best_j == 4 || best_j == 5) << "argmax " << best_j;
+  EXPECT_GT(best_p, 0.3);
+}
+
+TEST(Qpe, StructureIsCu1Heavy) {
+  const Circuit c = qpe(6, 0.5);
+  std::size_t cu1 = 0;
+  for (const ir::Gate& g : c.gates()) {
+    if (g.kind() == GateKind::kCU1) ++cu1;
+  }
+  // 6 kickback controls + 15 inverse-QFT ladder rotations.
+  EXPECT_EQ(cu1, 21u);
+}
+
+TEST(HiddenShift, RecoversShiftDeterministically) {
+  for (const std::uint64_t shift : {0b0000ULL, 0b1010ULL, 0b0111ULL,
+                                    0b1111ULL}) {
+    const Circuit c = hidden_shift(4, shift);
+    Statevector psi(4);
+    psi.apply(c);
+    EXPECT_NEAR(std::norm(psi.amp(static_cast<std::size_t>(shift))), 1.0,
+                1e-9)
+        << "shift " << shift;
+  }
+}
+
+TEST(HiddenShift, LargerInstance) {
+  const std::uint64_t shift = 0b101101;
+  const Circuit c = hidden_shift(6, shift);
+  Statevector psi(6);
+  psi.apply(c);
+  EXPECT_NEAR(std::norm(psi.amp(static_cast<std::size_t>(shift))), 1.0,
+              1e-9);
+}
+
+TEST(HiddenShift, RejectsOddWidth) {
+  EXPECT_THROW(hidden_shift(5, 1), ContractViolation);
+  EXPECT_THROW(hidden_shift(4, 1u << 4), ContractViolation);
+}
+
+TEST(QuantumVolume, StructureAndDeterminism) {
+  const Circuit a = quantum_volume(6, 4, 11);
+  const Circuit b = quantum_volume(6, 4, 11);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.gate(i), b.gate(i));
+  // 3 pairs per layer, each pair = 6 u3 + 2 cx.
+  EXPECT_EQ(a.size(), 4u * 3u * 8u);
+  std::size_t cx = 0;
+  for (const ir::Gate& g : a.gates()) {
+    if (g.kind() == GateKind::kCX) ++cx;
+  }
+  EXPECT_EQ(cx, 4u * 3u * 2u);
+}
+
+TEST(QuantumVolume, StatePreservesNorm) {
+  const Circuit c = quantum_volume(5, 3, 2);
+  Statevector psi(5);
+  psi.apply(c);
+  EXPECT_NEAR(psi.norm_squared(), 1.0, 1e-9);
+}
+
+TEST(QuantumVolume, OddQubitCountLeavesOneIdlePerLayer) {
+  const Circuit c = quantum_volume(5, 2, 9);
+  EXPECT_EQ(c.size(), 2u * 2u * 8u);  // floor(5/2)=2 pairs per layer
+}
+
+}  // namespace
+}  // namespace codar::workloads

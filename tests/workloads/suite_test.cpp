@@ -1,0 +1,83 @@
+#include "codar/workloads/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "codar/ir/decompose.hpp"
+
+namespace codar::workloads {
+namespace {
+
+TEST(BenchmarkSuite, Has71EntriesLikeThePaper) {
+  const auto suite = benchmark_suite();
+  EXPECT_EQ(suite.size(), 71u);
+}
+
+TEST(BenchmarkSuite, SizeDistributionMatchesPaper) {
+  // 68 benchmarks use 3..16 qubits; three use 36 (Sycamore-only).
+  const auto suite = benchmark_suite();
+  std::size_t small = 0, huge = 0;
+  for (const BenchmarkSpec& spec : suite) {
+    const int n = spec.circuit.num_qubits();
+    if (n >= 3 && n <= 16) ++small;
+    if (n == 36) ++huge;
+  }
+  EXPECT_EQ(small, 68u);
+  EXPECT_EQ(huge, 3u);
+}
+
+TEST(BenchmarkSuite, SortedAscendingByQubits) {
+  const auto suite = benchmark_suite();
+  for (std::size_t i = 1; i < suite.size(); ++i) {
+    EXPECT_LE(suite[i - 1].circuit.num_qubits(),
+              suite[i].circuit.num_qubits());
+  }
+}
+
+TEST(BenchmarkSuite, AllLoweredToTwoQubitGates) {
+  for (const BenchmarkSpec& spec : benchmark_suite()) {
+    EXPECT_TRUE(ir::is_two_qubit_lowered(spec.circuit)) << spec.name;
+  }
+}
+
+TEST(BenchmarkSuite, NamesAreUniqueAndNonEmpty) {
+  std::set<std::string> names;
+  for (const BenchmarkSpec& spec : benchmark_suite()) {
+    EXPECT_FALSE(spec.name.empty());
+    EXPECT_TRUE(names.insert(spec.name).second)
+        << "duplicate name " << spec.name;
+  }
+}
+
+TEST(BenchmarkSuite, CoversTensOfThousandsOfGates) {
+  // The paper's collection tops out around 30k gates; ours must reach the
+  // same order of magnitude.
+  std::size_t max_gates = 0;
+  for (const BenchmarkSpec& spec : benchmark_suite()) {
+    max_gates = std::max(max_gates, spec.circuit.size());
+  }
+  EXPECT_GE(max_gates, 15000u);
+}
+
+TEST(BenchmarkSuite, DeterministicAcrossCalls) {
+  const auto a = benchmark_suite();
+  const auto b = benchmark_suite();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].circuit.size(), b[i].circuit.size());
+  }
+}
+
+TEST(FamousAlgorithms, SevenSmallPrograms) {
+  const auto algos = famous_algorithms();
+  EXPECT_EQ(algos.size(), 7u);
+  for (const BenchmarkSpec& spec : algos) {
+    EXPECT_LE(spec.circuit.num_qubits(), 9) << spec.name;
+    EXPECT_TRUE(ir::is_two_qubit_lowered(spec.circuit)) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace codar::workloads
