@@ -7,12 +7,20 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <string_view>
 
 #include "codar/qasm/writer.hpp"
 #include "codar/workloads/suite.hpp"
 
 int main(int argc, char** argv) {
   using namespace codar;
+  if (argc > 1 && argv[1][0] == '-') {
+    std::cerr << "usage: export_suite [output_dir]   (default ./suite_qasm)\n";
+    return std::string_view(argv[1]) == "-h" ||
+                   std::string_view(argv[1]) == "--help"
+               ? 0
+               : 1;
+  }
   const std::filesystem::path dir =
       argc > 1 ? std::filesystem::path(argv[1]) : "suite_qasm";
   std::error_code ec;

@@ -1,0 +1,31 @@
+#pragma once
+
+// Name → Device factory covering every preset in arch/device.cpp and
+// arch/extra_devices.cpp, plus parameterized specs for the generic
+// generators:
+//
+//   q16 | tokyo | enfield | sycamore | yorktown      (fixed presets)
+//   grid:RxC | linear:N | ring:N                     (lattice generators)
+//   heavyhex:D | octagons:N | iontrap:N              (extra architectures)
+
+#include <string>
+#include <vector>
+
+#include "codar/arch/device.hpp"
+
+namespace codar::cli {
+
+/// Builds the device named by `spec`. Throws std::invalid_argument for an
+/// unknown name or out-of-range parameter.
+arch::Device make_device(const std::string& spec);
+
+/// One catalog row for --list-devices.
+struct DeviceEntry {
+  std::string spec;         ///< Canonical name or parameterized form.
+  std::string description;
+};
+
+/// Every supported spec, fixed presets first.
+const std::vector<DeviceEntry>& device_catalog();
+
+}  // namespace codar::cli

@@ -1,0 +1,66 @@
+#pragma once
+
+// Command-line surface of the `codar` driver binary: QASM in, routed QASM
+// out, with device/router/initial-mapping selection, CodarConfig knobs,
+// JSON statistics and a multi-threaded batch mode (directory of .qasm
+// files, or the built-in 71-benchmark suite).
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "codar/core/codar_router.hpp"
+
+namespace codar::cli {
+
+/// Which routing pass to run.
+enum class RouterKind { kCodar, kSabre, kAstar };
+
+/// How the initial layout π is chosen.
+enum class MappingKind {
+  kIdentity,  ///< π(q) = q.
+  kGreedy,    ///< layout::greedy_interaction_layout.
+  kSabre,     ///< SABRE reverse-traversal refinement (the paper's protocol).
+};
+
+/// Raised on malformed command lines; `what()` is the message to print
+/// (the caller appends the usage text).
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct Options {
+  std::vector<std::string> inputs;  ///< Positional .qasm files.
+  std::string batch_dir;            ///< --batch DIR: route every *.qasm in DIR.
+  bool suite = false;               ///< --suite: route the built-in suite.
+
+  std::string device = "tokyo";     ///< --device SPEC (see device_registry).
+  RouterKind router = RouterKind::kCodar;      ///< --router codar|sabre|astar.
+  MappingKind mapping = MappingKind::kSabre;   ///< --initial identity|greedy|sabre.
+  core::CodarConfig codar;          ///< --no-context / --no-duration / ...
+  std::uint64_t seed = 17;          ///< --seed N (initial-mapping RNG).
+  int mapping_rounds = 3;           ///< --mapping-rounds N (SABRE refinement).
+
+  int threads = 0;                  ///< --threads N; 0 = hardware concurrency.
+  bool verify = true;               ///< --no-verify skips verify_routing.
+  bool peephole = false;            ///< --peephole: pre-routing cleanup pass.
+
+  std::string output_path;          ///< -o FILE: routed QASM (default stdout).
+  std::string stats_path;           ///< --stats FILE: JSON (default stderr/stdout).
+  bool list_devices = false;        ///< --list-devices.
+  bool help = false;                ///< --help.
+};
+
+/// Parses argv (excluding argv[0]). Throws UsageError on malformed input.
+Options parse_args(const std::vector<std::string>& args);
+
+/// The full usage/help text.
+std::string usage();
+
+/// Lower-case name of a router / mapping kind (for JSON and messages).
+std::string to_string(RouterKind kind);
+std::string to_string(MappingKind kind);
+
+}  // namespace codar::cli

@@ -1,0 +1,358 @@
+#include "codar/cli/driver.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "codar/astar/astar_router.hpp"
+#include "codar/cli/device_registry.hpp"
+#include "codar/core/codar_router.hpp"
+#include "codar/core/verify.hpp"
+#include "codar/ir/decompose.hpp"
+#include "codar/ir/peephole.hpp"
+#include "codar/layout/initial_mapping.hpp"
+#include "codar/qasm/parser.hpp"
+#include "codar/qasm/writer.hpp"
+#include "codar/sabre/sabre_router.hpp"
+#include "codar/schedule/scheduler.hpp"
+
+namespace codar::cli {
+
+namespace {
+
+/// Shrinks a circuit whose declared register is wider than the device down
+/// to its used qubits (QASM files routinely over-declare).
+ir::Circuit fit_register(const ir::Circuit& circuit, int device_qubits) {
+  if (circuit.num_qubits() <= device_qubits) return circuit;
+  const int used = circuit.used_qubit_count();
+  if (used > device_qubits) {
+    throw std::runtime_error("circuit uses " + std::to_string(used) +
+                             " qubits but the device has only " +
+                             std::to_string(device_qubits));
+  }
+  std::vector<ir::Qubit> identity(
+      static_cast<std::size_t>(circuit.num_qubits()));
+  for (std::size_t q = 0; q < identity.size(); ++q) {
+    identity[q] = static_cast<ir::Qubit>(q);
+  }
+  return circuit.remapped(identity, used);
+}
+
+layout::Layout choose_initial(const ir::Circuit& circuit,
+                              const arch::Device& device,
+                              const Options& opts) {
+  switch (opts.mapping) {
+    case MappingKind::kIdentity:
+      return layout::Layout(circuit.num_qubits(), device.graph.num_qubits());
+    case MappingKind::kGreedy:
+      return layout::greedy_interaction_layout(circuit, device.graph);
+    case MappingKind::kSabre:
+      return sabre::SabreRouter(device).initial_mapping(
+          circuit, opts.mapping_rounds, opts.seed);
+  }
+  throw std::logic_error("unreachable mapping kind");
+}
+
+core::RoutingResult dispatch_route(const ir::Circuit& circuit,
+                                   const layout::Layout& initial,
+                                   const arch::Device& device,
+                                   const Options& opts) {
+  switch (opts.router) {
+    case RouterKind::kCodar:
+      return core::CodarRouter(device, opts.codar).route(circuit, initial);
+    case RouterKind::kSabre:
+      return sabre::SabreRouter(device).route(circuit, initial);
+    case RouterKind::kAstar:
+      return astar::AstarRouter(device).route(circuit, initial);
+  }
+  throw std::logic_error("unreachable router kind");
+}
+
+void json_string(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << ' ';  // other control chars: not worth escaping exactly
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+RouteReport route_circuit(const ir::Circuit& circuit,
+                          const arch::Device& device, const Options& opts,
+                          bool keep_qasm) {
+  RouteReport report;
+  report.name = circuit.name();
+  try {
+    ir::Circuit lowered =
+        fit_register(ir::decompose_toffoli(circuit),
+                     device.graph.num_qubits());
+    if (opts.peephole) lowered = ir::peephole_optimize(lowered);
+    report.qubits = lowered.used_qubit_count();
+    report.gates_in = lowered.size();
+    report.depth_in = schedule::weighted_depth(lowered, device.durations);
+
+    const layout::Layout initial = choose_initial(lowered, device, opts);
+    const core::RoutingResult result =
+        dispatch_route(lowered, initial, device, opts);
+
+    report.gates_out = result.circuit.size();
+    report.swaps = result.stats.swaps_inserted;
+    report.forced_swaps = result.stats.forced_swaps;
+    report.escape_swaps = result.stats.escape_swaps;
+    report.cycles = result.stats.cycles_simulated;
+    report.makespan = result.stats.router_makespan;
+    report.depth_out =
+        schedule::weighted_depth(result.circuit, device.durations);
+
+    if (opts.verify) {
+      const core::VerifyOutcome outcome =
+          core::verify_routing(lowered, result, device.graph);
+      report.verified = outcome.valid;
+      if (!outcome.valid) {
+        report.error = "verification failed: " + outcome.reason;
+        return report;
+      }
+    } else {
+      report.verify_skipped = true;
+    }
+    if (keep_qasm) report.routed_qasm = qasm::to_qasm(result.circuit);
+  } catch (const std::exception& e) {
+    report.error = e.what();
+  }
+  return report;
+}
+
+std::vector<RouteReport> run_batch(
+    const std::vector<workloads::BenchmarkSpec>& jobs,
+    const arch::Device& device, const Options& opts) {
+  std::vector<RouteReport> results(jobs.size());
+  if (jobs.empty()) return results;
+  int threads = opts.threads > 0
+                    ? opts.threads
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  threads = std::clamp<int>(threads, 1, static_cast<int>(jobs.size()));
+
+  // Work stealing off one atomic counter; each worker routes with its own
+  // router instance (constructed inside route_circuit), so concurrent jobs
+  // share only the immutable device model and options.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= jobs.size()) return;
+      results[i] =
+          route_circuit(jobs[i].circuit, device, opts, /*keep_qasm=*/false);
+      results[i].name = jobs[i].name;
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads) - 1);
+  for (int t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+std::string to_json(const RouteReport& r, const Options& opts) {
+  std::ostringstream out;
+  out << "{\"name\": ";
+  json_string(out, r.name);
+  out << ", \"device\": ";
+  json_string(out, opts.device);
+  out << ", \"router\": ";
+  json_string(out, to_string(opts.router));
+  out << ", \"initial\": ";
+  json_string(out, to_string(opts.mapping));
+  if (!r.error.empty()) {
+    out << ", \"error\": ";
+    json_string(out, r.error);
+  }
+  out << ", \"qubits\": " << r.qubits << ", \"gates_in\": " << r.gates_in
+      << ", \"gates_out\": " << r.gates_out << ", \"swaps\": " << r.swaps
+      << ", \"forced_swaps\": " << r.forced_swaps
+      << ", \"escape_swaps\": " << r.escape_swaps
+      << ", \"cycles\": " << r.cycles << ", \"makespan\": " << r.makespan
+      << ", \"weighted_depth_in\": " << r.depth_in
+      << ", \"weighted_depth_out\": " << r.depth_out << ", \"verified\": "
+      << (r.verified ? "true" : "false") << "}";
+  return out.str();
+}
+
+std::string to_json(const std::vector<RouteReport>& reports,
+                    const Options& opts) {
+  std::size_t failed = 0;
+  std::size_t swaps = 0;
+  long long depth_in = 0;
+  long long depth_out = 0;
+  std::ostringstream out;
+  out << "{\"results\": [";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\n  " << to_json(reports[i], opts);
+    if (!reports[i].ok()) ++failed;
+    swaps += reports[i].swaps;
+    depth_in += reports[i].depth_in;
+    depth_out += reports[i].depth_out;
+  }
+  out << "\n], \"summary\": {\"total\": " << reports.size()
+      << ", \"failed\": " << failed << ", \"swaps\": " << swaps
+      << ", \"weighted_depth_in\": " << depth_in
+      << ", \"weighted_depth_out\": " << depth_out << "}}";
+  return out.str();
+}
+
+namespace {
+
+/// Writes `text` to `path`, or to `fallback` when path is empty.
+void write_text(const std::string& path, const std::string& text,
+                std::ostream& fallback) {
+  if (path.empty()) {
+    fallback << text;
+    if (!text.empty() && text.back() != '\n') fallback << '\n';
+    return;
+  }
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("cannot write " + path);
+  file << text;
+  if (!text.empty() && text.back() != '\n') file << '\n';
+}
+
+int run_single(const Options& opts, const arch::Device& device,
+               std::ostream& out, std::ostream& err) {
+  RouteReport report;
+  try {
+    // Load failures get the same JSON error report as in batch mode (so
+    // scripts can rely on the stats output existing, and exit 1 means
+    // "this circuit failed" while 2 stays "bad invocation").
+    const ir::Circuit circuit = qasm::parse_file(opts.inputs.front());
+    report = route_circuit(circuit, device, opts, /*keep_qasm=*/true);
+  } catch (const std::exception& e) {
+    report.error = e.what();
+  }
+  if (report.name.empty()) report.name = opts.inputs.front();
+  if (report.error.empty()) {
+    write_text(opts.output_path, report.routed_qasm, out);
+  } else {
+    err << "error: " << report.name << ": " << report.error << "\n";
+  }
+  write_text(opts.stats_path, to_json(report, opts), err);
+  return report.ok() ? 0 : 1;
+}
+
+int run_many(const Options& opts, const arch::Device& device,
+             std::ostream& out, std::ostream& err) {
+  std::vector<workloads::BenchmarkSpec> jobs;
+  // Jobs that already failed at load time, keyed by output position.
+  std::vector<std::optional<RouteReport>> preloaded;
+
+  auto add_file = [&](const std::filesystem::path& path) {
+    RouteReport failure;
+    failure.name = path.filename().string();
+    try {
+      ir::Circuit circuit = qasm::parse_file(path.string());
+      circuit.set_name(path.filename().string());
+      jobs.push_back({path.filename().string(), std::move(circuit)});
+      preloaded.emplace_back(std::nullopt);
+      return;
+    } catch (const std::exception& e) {
+      failure.error = e.what();
+    }
+    preloaded.emplace_back(std::move(failure));
+  };
+
+  if (opts.suite) {
+    jobs = workloads::benchmark_suite();
+    preloaded.assign(jobs.size(), std::nullopt);
+  } else if (!opts.batch_dir.empty()) {
+    std::vector<std::filesystem::path> paths;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(opts.batch_dir)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".qasm") {
+        paths.push_back(entry.path());
+      }
+    }
+    std::sort(paths.begin(), paths.end());
+    if (paths.empty()) {
+      err << "error: no .qasm files under " << opts.batch_dir << "\n";
+      return 2;
+    }
+    for (const auto& path : paths) add_file(path);
+  } else {
+    for (const std::string& input : opts.inputs) add_file(input);
+  }
+
+  const std::vector<RouteReport> routed = run_batch(jobs, device, opts);
+
+  // Merge routed results back into input order around the load failures.
+  std::vector<RouteReport> reports;
+  reports.reserve(preloaded.size());
+  std::size_t next_routed = 0;
+  for (auto& slot : preloaded) {
+    if (slot.has_value()) {
+      reports.push_back(std::move(*slot));
+    } else {
+      reports.push_back(routed[next_routed++]);
+    }
+  }
+
+  write_text(opts.stats_path, to_json(reports, opts), out);
+  const std::size_t failed = static_cast<std::size_t>(
+      std::count_if(reports.begin(), reports.end(),
+                    [](const RouteReport& r) { return !r.ok(); }));
+  err << reports.size() - failed << "/" << reports.size() << " circuits "
+      << "routed on " << opts.device << " with " << to_string(opts.router)
+      << (failed ? " (FAILURES above)" : "") << "\n";
+  return failed == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  Options opts;
+  try {
+    opts = parse_args(args);
+  } catch (const UsageError& e) {
+    err << "error: " << e.what() << "\n\n" << usage();
+    return 2;
+  }
+  if (opts.help) {
+    out << usage();
+    return 0;
+  }
+  if (opts.list_devices) {
+    for (const DeviceEntry& entry : device_catalog()) {
+      out << entry.spec << "\t" << entry.description << "\n";
+    }
+    return 0;
+  }
+  try {
+    const arch::Device device = make_device(opts.device);
+    if (!opts.batch_dir.empty() || opts.suite || opts.inputs.size() > 1) {
+      return run_many(opts, device, out, err);
+    }
+    return run_single(opts, device, out, err);
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace codar::cli

@@ -1,0 +1,13 @@
+// Entry point of the `codar` binary; all behavior lives in codar::cli so
+// the integration tests can drive it in-process.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "codar/cli/driver.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return codar::cli::run_cli(args, std::cout, std::cerr);
+}

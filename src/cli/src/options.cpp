@@ -1,0 +1,172 @@
+#include "codar/cli/options.hpp"
+
+#include <charconv>
+
+namespace codar::cli {
+
+namespace {
+
+/// Parses a mandatory integral flag value; throws UsageError on garbage.
+long long to_int(const std::string& flag, const std::string& value) {
+  long long result = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), result);
+  if (ec != std::errc() || ptr != value.data() + value.size()) {
+    throw UsageError(flag + " expects an integer, got '" + value + "'");
+  }
+  return result;
+}
+
+}  // namespace
+
+std::string to_string(RouterKind kind) {
+  switch (kind) {
+    case RouterKind::kCodar: return "codar";
+    case RouterKind::kSabre: return "sabre";
+    case RouterKind::kAstar: return "astar";
+  }
+  return "?";
+}
+
+std::string to_string(MappingKind kind) {
+  switch (kind) {
+    case MappingKind::kIdentity: return "identity";
+    case MappingKind::kGreedy: return "greedy";
+    case MappingKind::kSabre: return "sabre";
+  }
+  return "?";
+}
+
+Options parse_args(const std::vector<std::string>& args) {
+  Options opts;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        throw UsageError(arg + " expects a value");
+      }
+      return args[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      opts.help = true;
+    } else if (arg == "--list-devices") {
+      opts.list_devices = true;
+    } else if (arg == "--device" || arg == "-d") {
+      opts.device = value();
+    } else if (arg == "--router" || arg == "-r") {
+      const std::string& v = value();
+      if (v == "codar") {
+        opts.router = RouterKind::kCodar;
+      } else if (v == "sabre") {
+        opts.router = RouterKind::kSabre;
+      } else if (v == "astar") {
+        opts.router = RouterKind::kAstar;
+      } else {
+        throw UsageError("unknown router '" + v +
+                         "' (expected codar|sabre|astar)");
+      }
+    } else if (arg == "--initial") {
+      const std::string& v = value();
+      if (v == "identity") {
+        opts.mapping = MappingKind::kIdentity;
+      } else if (v == "greedy") {
+        opts.mapping = MappingKind::kGreedy;
+      } else if (v == "sabre") {
+        opts.mapping = MappingKind::kSabre;
+      } else {
+        throw UsageError("unknown initial mapping '" + v +
+                         "' (expected identity|greedy|sabre)");
+      }
+    } else if (arg == "--batch") {
+      opts.batch_dir = value();
+    } else if (arg == "--suite") {
+      opts.suite = true;
+    } else if (arg == "--threads" || arg == "-j") {
+      opts.threads = static_cast<int>(to_int(arg, value()));
+      if (opts.threads < 0) throw UsageError("--threads must be >= 0");
+    } else if (arg == "--output" || arg == "-o") {
+      opts.output_path = value();
+    } else if (arg == "--stats") {
+      opts.stats_path = value();
+    } else if (arg == "--seed") {
+      opts.seed = static_cast<std::uint64_t>(to_int(arg, value()));
+    } else if (arg == "--mapping-rounds") {
+      opts.mapping_rounds = static_cast<int>(to_int(arg, value()));
+      if (opts.mapping_rounds < 0) {
+        throw UsageError("--mapping-rounds must be >= 0");
+      }
+    } else if (arg == "--no-verify") {
+      opts.verify = false;
+    } else if (arg == "--peephole") {
+      opts.peephole = true;
+    } else if (arg == "--no-context") {
+      opts.codar.context_aware = false;
+    } else if (arg == "--no-duration") {
+      opts.codar.duration_aware = false;
+    } else if (arg == "--no-commutativity") {
+      opts.codar.commutativity_aware = false;
+    } else if (arg == "--no-fine-priority") {
+      opts.codar.fine_priority = false;
+    } else if (arg == "--window") {
+      opts.codar.front_window = static_cast<int>(to_int(arg, value()));
+    } else if (arg == "--stagnation") {
+      opts.codar.stagnation_threshold = static_cast<int>(to_int(arg, value()));
+      if (opts.codar.stagnation_threshold < 1) {
+        throw UsageError("--stagnation must be >= 1");
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      throw UsageError("unknown flag '" + arg + "'");
+    } else {
+      opts.inputs.push_back(arg);
+    }
+  }
+  if (opts.help || opts.list_devices) return opts;
+  const int modes = static_cast<int>(!opts.inputs.empty()) +
+                    static_cast<int>(!opts.batch_dir.empty()) +
+                    static_cast<int>(opts.suite);
+  if (modes == 0) {
+    throw UsageError("nothing to route: give .qasm files, --batch DIR, "
+                     "or --suite");
+  }
+  if (modes > 1) {
+    throw UsageError("pick one mode: positional files, --batch, or --suite");
+  }
+  if (!opts.output_path.empty() && opts.inputs.size() != 1) {
+    throw UsageError("-o/--output requires exactly one input file");
+  }
+  return opts;
+}
+
+std::string usage() {
+  return R"(codar — contextual duration-aware qubit mapping (DAC 2020)
+
+usage:
+  codar [options] FILE.qasm...       route the given OpenQASM 2.0 files
+  codar [options] --batch DIR        route every *.qasm under DIR (parallel)
+  codar [options] --suite            route the built-in 71-benchmark suite
+  codar --list-devices               print every device spec
+
+modes and I/O:
+  -o, --output FILE     routed QASM destination (single input only; default
+                        stdout)
+      --stats FILE      JSON statistics destination (default: stderr for a
+                        single input, stdout for batch/suite)
+      --threads, -j N   batch worker threads (0 = hardware concurrency)
+
+routing:
+  -d, --device SPEC     target device (default tokyo); see --list-devices
+  -r, --router NAME     codar | sabre | astar (default codar)
+      --initial NAME    identity | greedy | sabre (default sabre)
+      --seed N          initial-mapping RNG seed (default 17)
+      --mapping-rounds N  SABRE reverse-traversal rounds (default 3)
+      --peephole        run the peephole cleanup pass before routing
+      --no-verify       skip the routing verifier
+
+CODAR ablation knobs:
+      --no-context --no-duration --no-commutativity --no-fine-priority
+      --window N        commutative-front scan cap (<=0 unbounded)
+      --stagnation N    forced SWAPs before the shortest-path escape
+)";
+}
+
+}  // namespace codar::cli

@@ -1,0 +1,240 @@
+// Integration tests for the `codar` CLI driver library: option parsing,
+// the device registry, end-to-end QASM-in → verified-QASM-out, and batch
+// determinism across thread counts.
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "codar/cli/device_registry.hpp"
+#include "codar/cli/driver.hpp"
+#include "codar/cli/options.hpp"
+#include "codar/ir/decompose.hpp"
+#include "codar/qasm/parser.hpp"
+#include "codar/qasm/writer.hpp"
+#include "codar/workloads/generators.hpp"
+
+namespace codar::cli {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path temp_dir(const std::string& name) {
+  const fs::path dir = fs::path(testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+void write_qasm_file(const fs::path& path, const ir::Circuit& circuit) {
+  std::ofstream out(path);
+  ASSERT_TRUE(out.is_open()) << path;
+  out << qasm::to_qasm(circuit);
+}
+
+// -- Options ----------------------------------------------------------------
+
+TEST(CliOptions, ParsesFlagsAndPositionals) {
+  const Options opts = parse_args(
+      {"--device", "grid:3x3", "--router", "astar", "--initial", "greedy",
+       "--threads", "4", "--no-duration", "--window", "25", "a.qasm"});
+  EXPECT_EQ(opts.device, "grid:3x3");
+  EXPECT_EQ(opts.router, RouterKind::kAstar);
+  EXPECT_EQ(opts.mapping, MappingKind::kGreedy);
+  EXPECT_EQ(opts.threads, 4);
+  EXPECT_FALSE(opts.codar.duration_aware);
+  EXPECT_TRUE(opts.codar.context_aware);
+  EXPECT_EQ(opts.codar.front_window, 25);
+  ASSERT_EQ(opts.inputs.size(), 1u);
+  EXPECT_EQ(opts.inputs.front(), "a.qasm");
+}
+
+TEST(CliOptions, RejectsBadInput) {
+  EXPECT_THROW(parse_args({}), UsageError);                    // nothing to do
+  EXPECT_THROW(parse_args({"--router", "qiskit", "a.qasm"}), UsageError);
+  EXPECT_THROW(parse_args({"--threads"}), UsageError);         // missing value
+  EXPECT_THROW(parse_args({"--threads", "two", "a.qasm"}), UsageError);
+  EXPECT_THROW(parse_args({"--wat", "a.qasm"}), UsageError);
+  EXPECT_THROW(parse_args({"a.qasm", "--suite"}), UsageError);  // two modes
+  EXPECT_THROW(parse_args({"-o", "x", "a.qasm", "b.qasm"}), UsageError);
+}
+
+// -- Device registry --------------------------------------------------------
+
+TEST(CliDeviceRegistry, BuildsEveryFixedPreset) {
+  EXPECT_EQ(make_device("q16").graph.num_qubits(), 16);
+  EXPECT_EQ(make_device("tokyo").graph.num_qubits(), 20);
+  EXPECT_EQ(make_device("enfield").graph.num_qubits(), 36);
+  EXPECT_EQ(make_device("sycamore").graph.num_qubits(), 54);
+  EXPECT_EQ(make_device("yorktown").graph.num_qubits(), 5);
+}
+
+TEST(CliDeviceRegistry, BuildsParameterizedSpecs) {
+  EXPECT_EQ(make_device("grid:3x4").graph.num_qubits(), 12);
+  EXPECT_EQ(make_device("linear:7").graph.num_qubits(), 7);
+  EXPECT_EQ(make_device("ring:9").graph.num_qubits(), 9);
+  EXPECT_GT(make_device("heavyhex:3").graph.num_qubits(), 9);
+  EXPECT_GT(make_device("octagons:2").graph.num_qubits(), 8);
+  EXPECT_EQ(make_device("iontrap:6").graph.num_qubits(), 6);
+}
+
+TEST(CliDeviceRegistry, RejectsBadSpecs) {
+  EXPECT_THROW(make_device("melbourne"), std::invalid_argument);
+  EXPECT_THROW(make_device("grid:3"), std::invalid_argument);
+  EXPECT_THROW(make_device("grid:0x4"), std::invalid_argument);
+  EXPECT_THROW(make_device("heavyhex:4"), std::invalid_argument);
+  EXPECT_THROW(make_device("linear:-2"), std::invalid_argument);
+}
+
+// -- Single-circuit routing -------------------------------------------------
+
+TEST(CliDriver, RoutedOutputParsesAndVerifies) {
+  const arch::Device device = make_device("tokyo");
+  Options opts;
+  const RouteReport report = route_circuit(
+      workloads::cuccaro_adder(4), device, opts, /*keep_qasm=*/true);
+  EXPECT_TRUE(report.error.empty()) << report.error;
+  EXPECT_TRUE(report.verified);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.gates_out, report.gates_in + report.swaps);
+  EXPECT_GE(report.depth_out, report.depth_in);
+
+  // The emitted QASM must round-trip through our own parser and stay
+  // hardware-compliant.
+  const ir::Circuit reparsed = qasm::parse(report.routed_qasm);
+  EXPECT_TRUE(ir::is_two_qubit_lowered(reparsed));
+  EXPECT_EQ(reparsed.size(), report.gates_out);
+  for (const ir::Gate& g : reparsed.gates()) {
+    if (g.num_qubits() == 2) {
+      EXPECT_TRUE(device.graph.connected(g.qubit(0), g.qubit(1)))
+          << qasm::to_qasm(reparsed);
+    }
+  }
+}
+
+TEST(CliDriver, AllThreeRoutersVerify) {
+  const arch::Device device = make_device("q16");
+  const ir::Circuit circuit = workloads::qft(6);
+  for (const RouterKind router :
+       {RouterKind::kCodar, RouterKind::kSabre, RouterKind::kAstar}) {
+    Options opts;
+    opts.router = router;
+    const RouteReport report =
+        route_circuit(circuit, device, opts, /*keep_qasm=*/false);
+    EXPECT_TRUE(report.ok()) << to_string(router) << ": " << report.error;
+    EXPECT_TRUE(report.verified) << to_string(router);
+  }
+}
+
+TEST(CliDriver, ReportsOversizedCircuitAsError) {
+  Options opts;
+  const RouteReport report = route_circuit(
+      workloads::ghz(8), make_device("yorktown"), opts, /*keep_qasm=*/false);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.error.find("qubits"), std::string::npos) << report.error;
+}
+
+TEST(CliDriver, RunCliEndToEnd) {
+  const fs::path dir = temp_dir("codar_cli_single");
+  const fs::path input = dir / "bv.qasm";
+  write_qasm_file(input, workloads::bernstein_vazirani(5, 0b10110));
+
+  std::ostringstream out;
+  std::ostringstream err;
+  const int exit_code =
+      run_cli({input.string(), "--device", "tokyo"}, out, err);
+  EXPECT_EQ(exit_code, 0) << err.str();
+
+  // stdout is the routed program, stderr the JSON stats.
+  const ir::Circuit routed = qasm::parse(out.str());
+  EXPECT_GT(routed.size(), 0u);
+  EXPECT_NE(err.str().find("\"verified\": true"), std::string::npos)
+      << err.str();
+  EXPECT_NE(err.str().find("\"router\": \"codar\""), std::string::npos);
+}
+
+TEST(CliDriver, RunCliReportsParseErrors) {
+  const fs::path dir = temp_dir("codar_cli_bad");
+  const fs::path input = dir / "bad.qasm";
+  std::ofstream(input) << "OPENQASM 2.0;\nqreg q[2];\nnot_a_gate q[0];\n";
+
+  std::ostringstream out;
+  std::ostringstream err;
+  // A load failure is a per-circuit failure (exit 1, JSON error report),
+  // not a usage error (exit 2) — same contract as batch mode.
+  EXPECT_EQ(run_cli({input.string()}, out, err), 1);
+  EXPECT_NE(err.str().find("\"error\": "), std::string::npos) << err.str();
+  EXPECT_NE(err.str().find("\"verified\": false"), std::string::npos);
+}
+
+// -- Batch mode -------------------------------------------------------------
+
+std::vector<workloads::BenchmarkSpec> batch_jobs() {
+  std::vector<workloads::BenchmarkSpec> jobs;
+  jobs.push_back({"ghz10", workloads::ghz(10)});
+  jobs.push_back({"qft7", workloads::qft(7)});
+  jobs.push_back({"adder3", workloads::cuccaro_adder(3)});
+  jobs.push_back({"qaoa10", workloads::qaoa_maxcut(10, 2, 7)});
+  jobs.push_back({"random12", workloads::random_circuit(12, 300, 0.4, 11)});
+  jobs.push_back({"hidden8", workloads::hidden_shift(8, 0b1011)});
+  return jobs;
+}
+
+TEST(CliBatch, StatsAreByteIdenticalAcrossThreadCounts) {
+  const arch::Device device = make_device("tokyo");
+  Options one;
+  one.threads = 1;
+  Options eight;
+  eight.threads = 8;
+
+  const std::string json_one = to_json(run_batch(batch_jobs(), device, one), one);
+  const std::string json_eight =
+      to_json(run_batch(batch_jobs(), device, eight), eight);
+  EXPECT_EQ(json_one, json_eight);
+  EXPECT_NE(json_one.find("\"failed\": 0"), std::string::npos) << json_one;
+}
+
+TEST(CliBatch, RunCliBatchDirectoryAcrossThreads) {
+  const fs::path dir = temp_dir("codar_cli_batch");
+  write_qasm_file(dir / "a_ghz.qasm", workloads::ghz(8));
+  write_qasm_file(dir / "b_qft.qasm", workloads::qft(6));
+  write_qasm_file(dir / "c_adder.qasm", workloads::cuccaro_adder(3));
+
+  auto run_with_threads = [&](const std::string& threads) {
+    std::ostringstream out;
+    std::ostringstream err;
+    const int exit_code =
+        run_cli({"--batch", dir.string(), "--device", "q16", "--threads",
+                 threads},
+                out, err);
+    EXPECT_EQ(exit_code, 0) << err.str();
+    return out.str();
+  };
+  const std::string stats_one = run_with_threads("1");
+  const std::string stats_eight = run_with_threads("8");
+  EXPECT_EQ(stats_one, stats_eight);
+  // Directory scan is sorted, so report order is stable by filename.
+  EXPECT_LT(stats_one.find("a_ghz"), stats_one.find("b_qft"));
+  EXPECT_LT(stats_one.find("b_qft"), stats_one.find("c_adder"));
+}
+
+TEST(CliBatch, LoadFailuresKeepTheirSlotAndFailTheRun) {
+  const fs::path dir = temp_dir("codar_cli_batch_bad");
+  write_qasm_file(dir / "a_ok.qasm", workloads::ghz(4));
+  std::ofstream(dir / "b_bad.qasm") << "OPENQASM 2.0;\nqreg q[1;\n";
+  write_qasm_file(dir / "c_ok.qasm", workloads::qft(4));
+
+  std::ostringstream out;
+  std::ostringstream err;
+  const int exit_code = run_cli({"--batch", dir.string(), "--device", "q16"},
+                                out, err);
+  EXPECT_EQ(exit_code, 1);
+  EXPECT_NE(out.str().find("\"failed\": 1"), std::string::npos) << out.str();
+  EXPECT_LT(out.str().find("a_ok"), out.str().find("b_bad"));
+  EXPECT_LT(out.str().find("b_bad"), out.str().find("c_ok"));
+}
+
+}  // namespace
+}  // namespace codar::cli
