@@ -1,0 +1,117 @@
+// Router throughput over the built-in 71-benchmark suite: pure route()
+// wall time per benchmark (initial mapping excluded), emitted as JSON so CI
+// can archive the perf trajectory (BENCH_router.json). Usage:
+//
+//   bench_router_throughput [OUTPUT.json] [--repeat N]
+//
+// Every benchmark is routed on the 36-qubit Enfield lattice (the only
+// paper device that fits the 36-qubit programs) from the shared SABRE
+// reverse-traversal initial mapping; wall_ms is the minimum over N repeats
+// (default 3) so one-off scheduler noise doesn't poison the trajectory.
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "codar/arch/device.hpp"
+#include "codar/core/codar_router.hpp"
+#include "codar/sabre/sabre_router.hpp"
+#include "codar/workloads/suite.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+struct Row {
+  std::string name;
+  int qubits = 0;
+  std::size_t gates = 0;
+  double wall_ms = 0.0;
+  std::size_t swaps = 0;
+  long long makespan = 0;
+  std::size_t cycles = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string output = "BENCH_router.json";
+  int repeat = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--repeat" && i + 1 < argc) {
+      repeat = std::max(1, std::atoi(argv[++i]));
+    } else {
+      output = arg;
+    }
+  }
+
+  const codar::arch::Device device = codar::arch::enfield_6x6();
+  const codar::core::CodarRouter router(device);
+  const codar::sabre::SabreRouter mapper(device);
+  const std::vector<codar::workloads::BenchmarkSpec> suite =
+      codar::workloads::benchmark_suite();
+
+  std::vector<Row> rows;
+  rows.reserve(suite.size());
+  double total_ms = 0.0;
+  std::size_t total_swaps = 0;
+
+  for (const codar::workloads::BenchmarkSpec& spec : suite) {
+    const codar::layout::Layout initial =
+        mapper.initial_mapping(spec.circuit, /*rounds=*/2, /*seed=*/17);
+    Row row;
+    row.name = spec.name;
+    row.qubits = spec.circuit.used_qubit_count();
+    row.gates = spec.circuit.size();
+    row.wall_ms = -1.0;
+    for (int r = 0; r < repeat; ++r) {
+      const Clock::time_point start = Clock::now();
+      const codar::core::RoutingResult result =
+          router.route(spec.circuit, initial);
+      const double elapsed = ms_since(start);
+      if (row.wall_ms < 0.0 || elapsed < row.wall_ms) row.wall_ms = elapsed;
+      row.swaps = result.stats.swaps_inserted;
+      row.makespan = static_cast<long long>(result.stats.router_makespan);
+      row.cycles = result.stats.cycles_simulated;
+    }
+    total_ms += row.wall_ms;
+    total_swaps += row.swaps;
+    std::cerr << row.name << ": " << row.wall_ms << " ms, " << row.swaps
+              << " swaps\n";
+    rows.push_back(std::move(row));
+  }
+
+  std::ostringstream json;
+  json << "{\"device\": \"" << device.name << "\", \"repeat\": " << repeat
+       << ",\n \"results\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    if (i > 0) json << ",";
+    json << "\n  {\"name\": \"" << r.name << "\", \"qubits\": " << r.qubits
+         << ", \"gates\": " << r.gates << ", \"wall_ms\": " << r.wall_ms
+         << ", \"swaps\": " << r.swaps << ", \"makespan\": " << r.makespan
+         << ", \"cycles\": " << r.cycles << "}";
+  }
+  json << "\n ],\n \"summary\": {\"benchmarks\": " << rows.size()
+       << ", \"total_wall_ms\": " << total_ms
+       << ", \"total_swaps\": " << total_swaps << "}}\n";
+
+  std::ofstream file(output);
+  if (!file) {
+    std::cerr << "error: cannot write " << output << "\n";
+    return 1;
+  }
+  file << json.str();
+  std::cout << "suite routed in " << total_ms << " ms (min-of-" << repeat
+            << " per benchmark) -> " << output << "\n";
+  return 0;
+}

@@ -255,7 +255,8 @@ RoutingResult AstarRouter::route(const ir::Circuit& circuit,
       }
     }
   }
-  stats.gates_routed = circuit.size();
+  stats.barriers = circuit.barrier_count();
+  stats.gates_routed = circuit.size() - stats.barriers;
   return RoutingResult{std::move(out), initial, std::move(layout), stats};
 }
 

@@ -27,10 +27,13 @@ struct RouteReport {
   int qubits = 0;            ///< Logical qubits used by the input.
   std::size_t gates_in = 0;
   std::size_t gates_out = 0; ///< Routed gates incl. SWAPs.
+  std::size_t gates_routed = 0;  ///< Real (non-barrier) input gates routed.
+  std::size_t barriers = 0;      ///< Barrier fences carried through.
   std::size_t swaps = 0;
   std::size_t forced_swaps = 0;
   std::size_t escape_swaps = 0;
-  std::size_t cycles = 0;
+  std::size_t cycles = 0;        ///< Distinct simulated timestamps (CODAR).
+  std::size_t route_us = 0;      ///< route() wall time, microseconds.
   arch::Duration makespan = 0;   ///< Router's own timeline length.
   arch::Duration depth_in = 0;   ///< Duration-weighted depth before routing.
   arch::Duration depth_out = 0;  ///< ... and after (the paper's metric).

@@ -46,6 +46,7 @@ struct Options {
   int threads = 0;                  ///< --threads N; 0 = hardware concurrency.
   bool verify = true;               ///< --no-verify skips verify_routing.
   bool peephole = false;            ///< --peephole: pre-routing cleanup pass.
+  bool timing = false;              ///< --timing: route_us in the JSON stats.
 
   std::string output_path;          ///< -o FILE: routed QASM (default stdout).
   std::string stats_path;           ///< --stats FILE: JSON (default stderr/stdout).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <optional>
@@ -109,10 +110,17 @@ RouteReport route_circuit(const ir::Circuit& circuit,
     report.depth_in = schedule::weighted_depth(lowered, device.durations);
 
     const layout::Layout initial = choose_initial(lowered, device, opts);
+    const auto route_start = std::chrono::steady_clock::now();
     const core::RoutingResult result =
         dispatch_route(lowered, initial, device, opts);
+    report.route_us = static_cast<std::size_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - route_start)
+            .count());
 
     report.gates_out = result.circuit.size();
+    report.gates_routed = result.stats.gates_routed;
+    report.barriers = result.stats.barriers;
     report.swaps = result.stats.swaps_inserted;
     report.forced_swaps = result.stats.forced_swaps;
     report.escape_swaps = result.stats.escape_swaps;
@@ -185,10 +193,16 @@ std::string to_json(const RouteReport& r, const Options& opts) {
     json_string(out, r.error);
   }
   out << ", \"qubits\": " << r.qubits << ", \"gates_in\": " << r.gates_in
-      << ", \"gates_out\": " << r.gates_out << ", \"swaps\": " << r.swaps
+      << ", \"gates_out\": " << r.gates_out
+      << ", \"gates_routed\": " << r.gates_routed
+      << ", \"barriers\": " << r.barriers << ", \"swaps\": " << r.swaps
       << ", \"forced_swaps\": " << r.forced_swaps
       << ", \"escape_swaps\": " << r.escape_swaps
-      << ", \"cycles\": " << r.cycles << ", \"makespan\": " << r.makespan
+      << ", \"cycles\": " << r.cycles << ", \"makespan\": " << r.makespan;
+  // Wall time is the one nondeterministic stat: opt-in so default output
+  // stays bit-identical across runs and thread counts.
+  if (opts.timing) out << ", \"route_us\": " << r.route_us;
+  out
       << ", \"weighted_depth_in\": " << r.depth_in
       << ", \"weighted_depth_out\": " << r.depth_out << ", \"verified\": "
       << (r.verified ? "true" : "false") << "}";
@@ -199,6 +213,7 @@ std::string to_json(const std::vector<RouteReport>& reports,
                     const Options& opts) {
   std::size_t failed = 0;
   std::size_t swaps = 0;
+  std::size_t route_us = 0;
   long long depth_in = 0;
   long long depth_out = 0;
   std::ostringstream out;
@@ -208,12 +223,14 @@ std::string to_json(const std::vector<RouteReport>& reports,
     out << "\n  " << to_json(reports[i], opts);
     if (!reports[i].ok()) ++failed;
     swaps += reports[i].swaps;
+    route_us += reports[i].route_us;
     depth_in += reports[i].depth_in;
     depth_out += reports[i].depth_out;
   }
   out << "\n], \"summary\": {\"total\": " << reports.size()
-      << ", \"failed\": " << failed << ", \"swaps\": " << swaps
-      << ", \"weighted_depth_in\": " << depth_in
+      << ", \"failed\": " << failed << ", \"swaps\": " << swaps;
+  if (opts.timing) out << ", \"route_us\": " << route_us;
+  out << ", \"weighted_depth_in\": " << depth_in
       << ", \"weighted_depth_out\": " << depth_out << "}}";
   return out.str();
 }

@@ -97,6 +97,8 @@ Options parse_args(const std::vector<std::string>& args) {
       }
     } else if (arg == "--no-verify") {
       opts.verify = false;
+    } else if (arg == "--timing") {
+      opts.timing = true;
     } else if (arg == "--peephole") {
       opts.peephole = true;
     } else if (arg == "--no-context") {
@@ -161,6 +163,9 @@ routing:
       --mapping-rounds N  SABRE reverse-traversal rounds (default 3)
       --peephole        run the peephole cleanup pass before routing
       --no-verify       skip the routing verifier
+      --timing          add per-route wall time (route_us) to the JSON
+                        stats; off by default so stats stay bit-identical
+                        across runs and thread counts
 
 CODAR ablation knobs:
       --no-context --no-duration --no-commutativity --no-fine-priority

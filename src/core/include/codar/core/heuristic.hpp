@@ -56,4 +56,21 @@ SwapPriority swap_priority(std::span<const GateEndpoints> cf_gates,
                            const arch::CouplingGraph& graph,
                            SwapCandidate swap, bool use_fine = true);
 
+/// H_fine relative to the current mapping: only gates the candidate moves
+/// contribute, i.e. h_fine(swap) minus the candidate-independent
+/// Σ −|VD − HD| over unaffected gates. Dropping that shared base term does
+/// not change any comparison between candidates evaluated under the same
+/// mapping — which is all the router uses priorities for — but it lets the
+/// hot loop skip candidates whose neighborhood a previous SWAP didn't
+/// touch.
+std::int64_t h_fine_delta(std::span<const GateEndpoints> cf_gates,
+                          const arch::CouplingGraph& graph,
+                          SwapCandidate swap);
+
+/// ⟨H_basic, H_fine − base⟩: ordering-equivalent to swap_priority among
+/// candidates under one mapping (see h_fine_delta).
+SwapPriority swap_priority_delta(std::span<const GateEndpoints> cf_gates,
+                                 const arch::CouplingGraph& graph,
+                                 SwapCandidate swap, bool use_fine = true);
+
 }  // namespace codar::core

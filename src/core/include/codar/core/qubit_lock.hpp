@@ -5,8 +5,17 @@
 // lock of every operand to t + τ. The lock bank is how CODAR perceives both
 // program context (which qubits the past gates still occupy) and gate
 // duration differences (shorter gates free their qubits earlier).
+//
+// Time advance is event-driven: every lock() pushes its expiry onto a
+// lazy-deletion min-heap, and next_expiry_after() pops superseded or
+// elapsed entries until the heap top is the earliest live expiry — O(log Q)
+// amortized instead of the former O(Q) scan over every qubit. Lazy deletion
+// works because a qubit's t_end never decreases (re-locking requires the
+// old lock to have expired), so an entry that no longer matches t_end[q] is
+// dead forever.
 
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "codar/arch/durations.hpp"
@@ -40,11 +49,19 @@ class QubitLockBank {
   void lock(std::span<const Qubit> qubits, Duration now, Duration duration);
 
   /// Earliest lock expiry strictly greater than `now`; returns `now` when
-  /// no qubit is busy beyond `now`.
-  Duration next_expiry_after(Duration now) const;
+  /// no qubit is busy beyond `now`. Queries must be monotone non-decreasing
+  /// (the router's clock only moves forward); elapsed heap entries are
+  /// discarded as they surface, so each lock costs O(log Q) amortized over
+  /// its lifetime.
+  Duration next_expiry_after(Duration now);
 
  private:
+  /// Heap entry: (expiry, qubit), min-ordered by expiry.
+  using Expiry = std::pair<Duration, Qubit>;
+
   std::vector<Duration> t_end_;
+  std::vector<Expiry> heap_;    ///< Lazy-deletion min-heap of lock expiries.
+  Duration last_query_ = 0;     ///< Enforces the monotone-query contract.
 };
 
 }  // namespace codar::core

@@ -14,8 +14,15 @@ namespace codar::core {
 /// Counters a router reports alongside its output circuit.
 struct RouterStats {
   std::size_t swaps_inserted = 0;
-  std::size_t gates_routed = 0;     ///< Original gates emitted (== input size).
-  std::size_t cycles_simulated = 0; ///< Event-loop iterations (CODAR only).
+  /// Real (non-barrier) input gates emitted. Barriers are ordering fences,
+  /// not operations — counting them here skewed fidelity/ESP
+  /// post-processing, so they are reported separately below.
+  std::size_t gates_routed = 0;
+  std::size_t barriers = 0;         ///< Barrier fences carried through.
+  /// Distinct simulated timestamps the event loop visited (CODAR only).
+  /// NOT the number of loop iterations: launch/swap/forced-swap rounds at
+  /// one timestamp count once.
+  std::size_t cycles_simulated = 0;
   std::size_t forced_swaps = 0;     ///< Deadlock-resolution SWAPs (CODAR only).
   std::size_t escape_swaps = 0;     ///< Stagnation shortest-path SWAPs.
   arch::Duration router_makespan = 0;  ///< The router's own timeline length.

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "codar/core/commutativity.hpp"
+#include "codar/core/front.hpp"
 #include "codar/core/heuristic.hpp"
 #include "codar/core/qubit_lock.hpp"
 #include "codar/ir/decompose.hpp"
@@ -21,6 +21,15 @@ using ir::Qubit;
 constexpr std::size_t kMaxIterations = 50'000'000;
 
 /// Working state of one route() invocation.
+///
+/// This is the event-driven rewrite of the original loop: the CF set lives
+/// in an incrementally-maintained CommutativeFront (no per-iteration
+/// rescan), time advances through the lock bank's expiry heap, and
+/// swap_step runs allocation-free on reused scratch buffers with candidate
+/// priorities recomputed only where a previous SWAP moved an endpoint. The
+/// routing decisions — launch order, SWAP choices, timing — are identical
+/// to the original rescan loop (preserved as the differential-test oracle
+/// in tests/support/rescan_router.hpp).
 class RoutingRun {
  public:
   RoutingRun(const arch::Device& device, const CodarConfig& config,
@@ -30,25 +39,32 @@ class RoutingRun {
         config_(config),
         lock_dur_(lock_durations),
         gates_(input.gates().begin(), input.gates().end()),
-        alive_(gates_.size(), true),
-        live_count_(gates_.size()),
+        barriers_(input.barrier_count()),
+        front_(gates_, config.front_window, config.commutativity_aware),
         pi_(initial),
         initial_(initial),
         locks_(device.graph.num_qubits()),
-        out_(device.graph.num_qubits(), input.name() + "_codar") {
-    pending_.resize(gates_.size());
-    for (std::size_t i = 0; i < pending_.size(); ++i)
-      pending_[i] = static_cast<int>(i);
+        out_(device.graph.num_qubits(), input.name() + "_codar"),
+        edge_seen_(static_cast<std::size_t>(device.graph.num_qubits()) *
+                       static_cast<std::size_t>(device.graph.num_qubits()),
+                   0),
+        qubit_marked_(static_cast<std::size_t>(device.graph.num_qubits()), 0) {
   }
 
   RoutingResult run() {
     std::size_t iterations = 0;
-    while (live_count_ > 0) {
+    Duration last_counted = -1;
+    while (front_.live_count() > 0) {
       if (++iterations > kMaxIterations) {
         throw std::runtime_error(
             "CodarRouter: iteration cap exceeded (livelock?)");
       }
-      ++stats_.cycles_simulated;
+      // A "cycle" is a distinct visited timestamp, not a loop iteration:
+      // launch/swap/forced-swap rounds at the same time count once.
+      if (now_ != last_counted) {
+        ++stats_.cycles_simulated;
+        last_counted = now_;
+      }
       const bool launched = launch_step();
       const bool inserted = swap_step();
       if (launched || inserted) {
@@ -70,64 +86,14 @@ class RoutingRun {
       result.stats.router_makespan =
           std::max(result.stats.router_makespan, locks_.t_end(q));
     }
-    result.stats.gates_routed = gates_.size();
+    result.stats.barriers = barriers_;
+    result.stats.gates_routed = gates_.size() - barriers_;
     return result;
   }
 
  private:
-  // -- CF maintenance -------------------------------------------------------
-
-  void compact_pending() {
-    if (dead_in_pending_ * 2 <= pending_.size()) return;
-    std::erase_if(pending_, [&](int gi) {
-      return !alive_[static_cast<std::size_t>(gi)];
-    });
-    dead_in_pending_ = 0;
-  }
-
-  /// Recomputes the CF gate list (gate indices, program order) over the
-  /// first `front_window` alive pending gates.
-  void compute_cf() {
-    compact_pending();
-    cf_.clear();
-    const std::size_t window =
-        config_.front_window <= 0
-            ? pending_.size()
-            : static_cast<std::size_t>(config_.front_window);
-    // wire_scratch_[q] = alive scanned gate indices on logical wire q, in
-    // program order.
-    wire_scratch_.resize(static_cast<std::size_t>(device_.graph.num_qubits()));
-    for (auto& wire : wire_scratch_) wire.clear();
-    std::size_t scanned = 0;
-    for (const int gi : pending_) {
-      if (!alive_[static_cast<std::size_t>(gi)]) continue;
-      if (scanned >= window) break;
-      ++scanned;
-      const Gate& g = gates_[static_cast<std::size_t>(gi)];
-      bool is_front = true;
-      for (const Qubit q : g.qubits()) {
-        for (const int earlier : wire_scratch_[static_cast<std::size_t>(q)]) {
-          const Gate& h = gates_[static_cast<std::size_t>(earlier)];
-          if (!config_.commutativity_aware || !gates_commute(h, g)) {
-            is_front = false;
-            break;
-          }
-        }
-        if (!is_front) break;
-      }
-      if (is_front) cf_.push_back(gi);
-      for (const Qubit q : g.qubits()) {
-        wire_scratch_[static_cast<std::size_t>(q)].push_back(gi);
-      }
-    }
-    cf_dirty_ = false;
-  }
-
   void retire(int gate_index) {
-    alive_[static_cast<std::size_t>(gate_index)] = false;
-    ++dead_in_pending_;
-    --live_count_;
-    cf_dirty_ = true;
+    front_.retire(gate_index);
     consecutive_forced_ = 0;
     last_forced_ = SwapCandidate{};
   }
@@ -137,20 +103,24 @@ class RoutingRun {
   bool launch_step() {
     bool launched_any = false;
     for (;;) {
-      if (cf_dirty_) compute_cf();
       bool launched = false;
-      for (const int gi : cf_) {
-        if (!alive_[static_cast<std::size_t>(gi)]) continue;
+      // Snapshot the front: gates that become front mid-pass (unblocked by
+      // a retirement) wait for the next pass, exactly as the rescan loop
+      // only saw them on its next recompute.
+      pass_scratch_.assign(front_.front().begin(), front_.front().end());
+      for (const int gi : pass_scratch_) {
         const Gate& g = gates_[static_cast<std::size_t>(gi)];
-        const Gate phys = g.remapped(
-            [&](Qubit lq) { return pi_.physical(lq); });
-        if (!locks_.all_free(phys.qubits(), now_)) continue;
-        if (phys.num_qubits() == 2 && phys.kind() != GateKind::kBarrier &&
-            !device_.graph.connected(phys.qubit(0), phys.qubit(1))) {
+        phys_scratch_.clear();
+        for (const Qubit q : g.qubits()) {
+          phys_scratch_.push_back(pi_.physical(q));
+        }
+        if (!locks_.all_free(phys_scratch_, now_)) continue;
+        if (g.num_qubits() == 2 && g.kind() != GateKind::kBarrier &&
+            !device_.graph.connected(phys_scratch_[0], phys_scratch_[1])) {
           continue;
         }
-        out_.add(phys);
-        locks_.lock(phys.qubits(), now_, lock_dur_.of(g));
+        out_.add(g.remapped([&](Qubit lq) { return pi_.physical(lq); }));
+        locks_.lock(phys_scratch_, now_, lock_dur_.of(g));
         retire(gi);
         launched = true;
       }
@@ -162,59 +132,58 @@ class RoutingRun {
 
   // -- Step 3: SWAP insertion ------------------------------------------------
 
-  /// Endpoints of every alive two-qubit CF gate under the current π.
-  std::vector<GateEndpoints> cf_two_qubit_endpoints() const {
-    std::vector<GateEndpoints> endpoints;
-    for (const int gi : cf_) {
-      if (!alive_[static_cast<std::size_t>(gi)]) continue;
+  /// Fills endpoints_scratch_ with the physical endpoints of every two-qubit
+  /// CF gate under the current π (front order == program order).
+  void collect_cf_endpoints() {
+    endpoints_scratch_.clear();
+    for (const int gi : front_.front()) {
       const Gate& g = gates_[static_cast<std::size_t>(gi)];
       if (g.num_qubits() != 2 || g.kind() == GateKind::kBarrier) continue;
-      endpoints.emplace_back(pi_.physical(g.qubit(0)),
-                             pi_.physical(g.qubit(1)));
+      endpoints_scratch_.emplace_back(pi_.physical(g.qubit(0)),
+                                      pi_.physical(g.qubit(1)));
     }
-    return endpoints;
   }
 
-  /// Alive CF two-qubit gates whose endpoints are not coupled (in program
-  /// order).
-  std::vector<int> blocked_gates() const {
-    std::vector<int> blocked;
-    for (const int gi : cf_) {
-      if (!alive_[static_cast<std::size_t>(gi)]) continue;
+  /// Fills blocked_scratch_ with the CF two-qubit gates whose endpoints are
+  /// not coupled (program order).
+  void collect_blocked() {
+    blocked_scratch_.clear();
+    for (const int gi : front_.front()) {
       const Gate& g = gates_[static_cast<std::size_t>(gi)];
       if (g.num_qubits() != 2 || g.kind() == GateKind::kBarrier) continue;
       if (!device_.graph.connected(pi_.physical(g.qubit(0)),
                                    pi_.physical(g.qubit(1)))) {
-        blocked.push_back(gi);
+        blocked_scratch_.push_back(gi);
       }
     }
-    return blocked;
   }
 
-  /// Candidate SWAPs: edges adjacent to the physical qubits of blocked CF
-  /// gates; with context awareness only lock-free edges qualify.
-  std::vector<SwapCandidate> build_candidates(
-      const std::vector<int>& blocked, bool filter_locks) const {
-    std::vector<SwapCandidate> candidates;
-    auto add_edge = [&](Qubit p, Qubit nb) {
-      SwapCandidate cand{std::min(p, nb), std::max(p, nb)};
-      if (std::find(candidates.begin(), candidates.end(), cand) ==
-          candidates.end()) {
-        candidates.push_back(cand);
-      }
-    };
-    for (const int gi : blocked) {
+  /// Candidate SWAPs into cand_scratch_: edges adjacent to the physical
+  /// qubits of blocked CF gates; with context awareness only lock-free
+  /// edges qualify. First-occurrence order, deduplicated by a stamped
+  /// edge-id table instead of a linear find.
+  void build_candidates(bool filter_locks) {
+    cand_scratch_.clear();
+    ++edge_stamp_;
+    const auto num_qubits =
+        static_cast<std::size_t>(device_.graph.num_qubits());
+    for (const int gi : blocked_scratch_) {
       const Gate& g = gates_[static_cast<std::size_t>(gi)];
       for (int i = 0; i < 2; ++i) {
         const Qubit p = pi_.physical(g.qubit(i));
         if (filter_locks && !locks_.is_free(p, now_)) continue;
         for (const Qubit nb : device_.graph.neighbors(p)) {
           if (filter_locks && !locks_.is_free(nb, now_)) continue;
-          add_edge(p, nb);
+          const SwapCandidate cand{std::min(p, nb), std::max(p, nb)};
+          const std::size_t edge_id =
+              static_cast<std::size_t>(cand.a) * num_qubits +
+              static_cast<std::size_t>(cand.b);
+          if (edge_seen_[edge_id] == edge_stamp_) continue;
+          edge_seen_[edge_id] = edge_stamp_;
+          cand_scratch_.push_back(cand);
         }
       }
     }
-    return candidates;
   }
 
   void insert_swap(SwapCandidate cand) {
@@ -227,40 +196,98 @@ class RoutingRun {
     ++stats_.swaps_inserted;
   }
 
-  bool swap_step() {
-    if (cf_dirty_) compute_cf();
-    const std::vector<int> blocked = blocked_gates();
-    if (blocked.empty()) return false;
-    std::vector<SwapCandidate> candidates =
-        build_candidates(blocked, config_.context_aware);
-    bool inserted_any = false;
-    while (!candidates.empty()) {
-      const std::vector<GateEndpoints> endpoints = cf_two_qubit_endpoints();
-      const SwapCandidate* best = nullptr;
-      SwapPriority best_priority;
-      for (const SwapCandidate& cand : candidates) {
-        const SwapPriority p = swap_priority(endpoints, device_.graph, cand,
-                                             config_.fine_priority);
-        if (best == nullptr || p > best_priority) {
-          best = &cand;
-          best_priority = p;
-        }
+  /// Index of the best candidate by cached priority (first strict maximum
+  /// in candidate order, as the rescan loop's linear argmax).
+  std::size_t best_candidate() const {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < prio_scratch_.size(); ++i) {
+      if (prio_scratch_[i] > prio_scratch_[best]) best = i;
+    }
+    return best;
+  }
+
+  /// Applies the chosen SWAP to the cached endpoints and re-prices exactly
+  /// the candidates whose neighborhood it touched. Priorities are stored as
+  /// ⟨H_basic, H_fine − base⟩; the dropped base term is shared by every
+  /// candidate under one mapping, so comparisons (and the basic > 0 gate)
+  /// are unchanged.
+  void refresh_after_swap(SwapCandidate chosen) {
+    ++qubit_stamp_;
+    auto mark = [&](Qubit q) {
+      qubit_marked_[static_cast<std::size_t>(q)] = qubit_stamp_;
+    };
+    auto transpose = [&](Qubit p) {
+      if (p == chosen.a) return chosen.b;
+      if (p == chosen.b) return chosen.a;
+      return p;
+    };
+    for (auto& [pa, pb] : endpoints_scratch_) {
+      if (pa == chosen.a || pa == chosen.b || pb == chosen.a ||
+          pb == chosen.b) {
+        // Both the old and new positions of a moved gate invalidate any
+        // candidate touching them.
+        mark(pa);
+        mark(pb);
+        pa = transpose(pa);
+        pb = transpose(pb);
+        mark(pa);
+        mark(pb);
       }
-      if (best == nullptr || best_priority.basic <= 0) break;
-      const SwapCandidate chosen = *best;
+    }
+    for (std::size_t i = 0; i < cand_scratch_.size(); ++i) {
+      const SwapCandidate& c = cand_scratch_[i];
+      if (qubit_marked_[static_cast<std::size_t>(c.a)] == qubit_stamp_ ||
+          qubit_marked_[static_cast<std::size_t>(c.b)] == qubit_stamp_) {
+        prio_scratch_[i] = swap_priority_delta(
+            endpoints_scratch_, device_.graph, c, config_.fine_priority);
+      }
+    }
+  }
+
+  /// Drops candidates matching `drop` from cand_scratch_/prio_scratch_,
+  /// preserving relative order.
+  template <typename Pred>
+  void prune_candidates(Pred drop) {
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < cand_scratch_.size(); ++i) {
+      if (drop(cand_scratch_[i])) continue;
+      cand_scratch_[kept] = cand_scratch_[i];
+      prio_scratch_[kept] = prio_scratch_[i];
+      ++kept;
+    }
+    cand_scratch_.resize(kept);
+    prio_scratch_.resize(kept);
+  }
+
+  bool swap_step() {
+    collect_blocked();
+    if (blocked_scratch_.empty()) return false;
+    build_candidates(config_.context_aware);
+    collect_cf_endpoints();
+    prio_scratch_.clear();
+    for (const SwapCandidate& cand : cand_scratch_) {
+      prio_scratch_.push_back(swap_priority_delta(
+          endpoints_scratch_, device_.graph, cand, config_.fine_priority));
+    }
+    bool inserted_any = false;
+    while (!cand_scratch_.empty()) {
+      const std::size_t best = best_candidate();
+      if (prio_scratch_[best].basic <= 0) break;
+      const SwapCandidate chosen = cand_scratch_[best];
       insert_swap(chosen);
       inserted_any = true;
       if (config_.context_aware) {
         // The chosen SWAP locked its endpoints; overlapping edges are no
         // longer lock-free this cycle.
-        std::erase_if(candidates, [&](const SwapCandidate& c) {
+        prune_candidates([&](const SwapCandidate& c) {
           return c.a == chosen.a || c.a == chosen.b || c.b == chosen.a ||
                  c.b == chosen.b;
         });
       } else {
-        std::erase_if(candidates,
-                      [&](const SwapCandidate& c) { return c == chosen; });
+        prune_candidates(
+            [&](const SwapCandidate& c) { return c == chosen; });
       }
+      if (!cand_scratch_.empty()) refresh_after_swap(chosen);
     }
     return inserted_any;
   }
@@ -268,38 +295,37 @@ class RoutingRun {
   // -- Deadlock resolution ----------------------------------------------------
 
   void force_swap() {
-    if (cf_dirty_) compute_cf();
-    const std::vector<int> blocked = blocked_gates();
-    // live_count_ > 0 and nothing launched with all qubits free implies at
+    collect_blocked();
+    // live_count > 0 and nothing launched with all qubits free implies at
     // least one CF two-qubit gate is blocked by connectivity.
-    CODAR_ENSURES(!blocked.empty());
+    CODAR_ENSURES(!blocked_scratch_.empty());
     ++consecutive_forced_;
     if (consecutive_forced_ > config_.stagnation_threshold) {
-      escape_swap(blocked.front());
+      escape_swap(blocked_scratch_.front());
       return;
     }
-    std::vector<SwapCandidate> candidates =
-        build_candidates(blocked, config_.context_aware);
-    CODAR_ENSURES(!candidates.empty());
+    build_candidates(config_.context_aware);
+    CODAR_ENSURES(!cand_scratch_.empty());
     // Anti-oscillation: never immediately undo the previous forced SWAP
     // (forcing an H_basic = 0 SWAP and its inverse would ping-pong).
-    if (candidates.size() > 1) {
-      std::erase_if(candidates,
+    if (cand_scratch_.size() > 1) {
+      std::erase_if(cand_scratch_,
                     [&](const SwapCandidate& c) { return c == last_forced_; });
     }
-    const std::vector<GateEndpoints> endpoints = cf_two_qubit_endpoints();
-    const SwapCandidate* best = nullptr;
+    collect_cf_endpoints();
+    std::size_t best = 0;
     SwapPriority best_priority;
-    for (const SwapCandidate& cand : candidates) {
-      const SwapPriority p = swap_priority(endpoints, device_.graph, cand,
-                                           config_.fine_priority);
-      if (best == nullptr || p > best_priority) {
-        best = &cand;
+    for (std::size_t i = 0; i < cand_scratch_.size(); ++i) {
+      const SwapPriority p =
+          swap_priority_delta(endpoints_scratch_, device_.graph,
+                              cand_scratch_[i], config_.fine_priority);
+      if (i == 0 || p > best_priority) {
+        best = i;
         best_priority = p;
       }
     }
-    last_forced_ = *best;
-    insert_swap(*best);
+    last_forced_ = cand_scratch_[best];
+    insert_swap(cand_scratch_[best]);
     ++stats_.forced_swaps;
   }
 
@@ -337,10 +363,8 @@ class RoutingRun {
   const arch::DurationMap& lock_dur_;
 
   std::vector<Gate> gates_;
-  std::vector<int> pending_;
-  std::vector<bool> alive_;
-  std::size_t dead_in_pending_ = 0;
-  std::size_t live_count_ = 0;
+  std::size_t barriers_;  ///< Barrier fences in the input (stat reporting).
+  CommutativeFront front_;
   layout::Layout pi_;
   layout::Layout initial_;
   QubitLockBank locks_;
@@ -348,9 +372,17 @@ class RoutingRun {
   ir::Circuit out_;
   RouterStats stats_;
 
-  std::vector<int> cf_;
-  bool cf_dirty_ = true;
-  std::vector<std::vector<int>> wire_scratch_;
+  // Reused scratch buffers — the hot loop allocates nothing after warm-up.
+  std::vector<int> pass_scratch_;             ///< Front snapshot per launch pass.
+  std::vector<Qubit> phys_scratch_;           ///< Physical operands of one gate.
+  std::vector<int> blocked_scratch_;          ///< Blocked CF gate indices.
+  std::vector<SwapCandidate> cand_scratch_;   ///< Candidate SWAP edges.
+  std::vector<SwapPriority> prio_scratch_;    ///< Cached candidate priorities.
+  std::vector<GateEndpoints> endpoints_scratch_;  ///< CF 2q gates under π.
+  std::vector<std::uint32_t> edge_seen_;      ///< Edge-id dedup stamps.
+  std::uint32_t edge_stamp_ = 0;
+  std::vector<std::uint32_t> qubit_marked_;   ///< Re-price marks per qubit.
+  std::uint32_t qubit_stamp_ = 0;
 
   SwapCandidate last_forced_{};
   int consecutive_forced_ = 0;

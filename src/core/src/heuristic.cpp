@@ -50,4 +50,32 @@ SwapPriority swap_priority(std::span<const GateEndpoints> cf_gates,
   return p;
 }
 
+std::int64_t h_fine_delta(std::span<const GateEndpoints> cf_gates,
+                          const arch::CouplingGraph& graph,
+                          SwapCandidate swap) {
+  if (!graph.has_coordinates()) return 0;
+  std::int64_t total = 0;
+  for (const auto& [pa, pb] : cf_gates) {
+    const Qubit na = transpose(pa, swap);
+    const Qubit nb = transpose(pb, swap);
+    if (na == pa && nb == pb) continue;  // unaffected: part of the base term
+    const arch::Coordinate ca = graph.coordinate(na);
+    const arch::Coordinate cb = graph.coordinate(nb);
+    total -= std::abs(std::abs(ca.row - cb.row) - std::abs(ca.col - cb.col));
+    const arch::Coordinate oa = graph.coordinate(pa);
+    const arch::Coordinate ob = graph.coordinate(pb);
+    total += std::abs(std::abs(oa.row - ob.row) - std::abs(oa.col - ob.col));
+  }
+  return total;
+}
+
+SwapPriority swap_priority_delta(std::span<const GateEndpoints> cf_gates,
+                                 const arch::CouplingGraph& graph,
+                                 SwapCandidate swap, bool use_fine) {
+  SwapPriority p;
+  p.basic = h_basic(cf_gates, graph, swap);
+  p.fine = use_fine ? h_fine_delta(cf_gates, graph, swap) : 0;
+  return p;
+}
+
 }  // namespace codar::core

@@ -1,5 +1,8 @@
 #include "codar/core/qubit_lock.hpp"
 
+#include <algorithm>
+#include <functional>
+
 namespace codar::core {
 
 QubitLockBank::QubitLockBank(int num_qubits) {
@@ -24,15 +27,26 @@ void QubitLockBank::lock(std::span<const Qubit> qubits, Duration now,
     // would mean two gates overlap on it.
     CODAR_EXPECTS(t_end_[static_cast<std::size_t>(q)] <= now);
     t_end_[static_cast<std::size_t>(q)] = now + duration;
+    heap_.emplace_back(now + duration, q);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
   }
 }
 
-Duration QubitLockBank::next_expiry_after(Duration now) const {
-  Duration next = now;
-  for (const Duration t : t_end_) {
-    if (t > now && (next == now || t < next)) next = t;
+Duration QubitLockBank::next_expiry_after(Duration now) {
+  CODAR_EXPECTS(now >= last_query_);
+  last_query_ = now;
+  while (!heap_.empty()) {
+    const auto [expiry, q] = heap_.front();
+    // Elapsed entries can never be an answer again (queries are monotone);
+    // superseded entries (expiry != the qubit's current t_end) are dead
+    // because t_end never decreases.
+    if (expiry > now && expiry == t_end_[static_cast<std::size_t>(q)]) {
+      return expiry;
+    }
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
   }
-  return next;
+  return now;
 }
 
 }  // namespace codar::core

@@ -74,6 +74,8 @@ class Circuit {
   std::size_t two_qubit_gate_count() const;
   /// Number of kSwap gates.
   std::size_t swap_count() const;
+  /// Number of kBarrier fences.
+  std::size_t barrier_count() const;
   /// Highest qubit index actually used plus one (<= num_qubits()).
   int used_qubit_count() const;
 

@@ -34,6 +34,13 @@ std::size_t Circuit::swap_count() const {
       }));
 }
 
+std::size_t Circuit::barrier_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(gates_.begin(), gates_.end(), [](const Gate& g) {
+        return g.kind() == GateKind::kBarrier;
+      }));
+}
+
 int Circuit::used_qubit_count() const {
   Qubit max_q = -1;
   for (const Gate& g : gates_) {

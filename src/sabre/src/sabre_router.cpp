@@ -58,7 +58,8 @@ class SabreRun {
     }
     RoutingResult result{std::move(out_), std::move(initial_), std::move(pi_),
                          stats_};
-    result.stats.gates_routed = input_.size();
+    result.stats.barriers = input_.barrier_count();
+    result.stats.gates_routed = input_.size() - result.stats.barriers;
     return result;
   }
 

@@ -27,6 +27,18 @@ TEST(AstarRouter, HardwareCompliantCircuitPassesThrough) {
   expect_routing_valid(c, result, dev);
 }
 
+TEST(AstarRouter, BarriersNotCountedAsRoutedGates) {
+  const arch::Device dev = arch::linear(3);
+  Circuit c(3);
+  c.h(0);
+  const ir::Qubit fence[] = {0, 1};
+  c.barrier(fence);
+  c.cx(0, 1);
+  const RoutingResult result = AstarRouter(dev).route(c);
+  EXPECT_EQ(result.stats.barriers, 1u);
+  EXPECT_EQ(result.stats.gates_routed, c.size() - 1);
+}
+
 TEST(AstarRouter, FindsMinimalSwapCountOnALine) {
   // CX q0,q2 on a 3-line needs exactly one SWAP; A* must find the optimum.
   const arch::Device dev = arch::linear(3);

@@ -128,6 +128,30 @@ TEST(CliDriver, AllThreeRoutersVerify) {
   }
 }
 
+TEST(CliDriver, TimingFieldIsOptIn) {
+  const arch::Device device = make_device("q16");
+  const ir::Circuit circuit = workloads::qft(6);
+  Options opts;
+  const RouteReport report =
+      route_circuit(circuit, device, opts, /*keep_qasm=*/false);
+  // Default JSON carries the deterministic stats only; --timing adds the
+  // (nondeterministic) per-route wall time.
+  const std::string plain = to_json(report, opts);
+  EXPECT_EQ(plain.find("route_us"), std::string::npos) << plain;
+  EXPECT_NE(plain.find("\"gates_routed\": "), std::string::npos) << plain;
+  EXPECT_NE(plain.find("\"barriers\": 0"), std::string::npos) << plain;
+  Options timed = opts;
+  timed.timing = true;
+  const std::string with_timing = to_json(report, timed);
+  EXPECT_NE(with_timing.find("\"route_us\": "), std::string::npos)
+      << with_timing;
+}
+
+TEST(CliOptions, ParsesTimingFlag) {
+  EXPECT_FALSE(parse_args({"a.qasm"}).timing);
+  EXPECT_TRUE(parse_args({"--timing", "a.qasm"}).timing);
+}
+
 TEST(CliDriver, ReportsOversizedCircuitAsError) {
   Options opts;
   const RouteReport report = route_circuit(

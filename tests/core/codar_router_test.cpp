@@ -262,6 +262,57 @@ TEST(CodarRouter, AblationConfigsAllProduceValidRoutes) {
   }
 }
 
+// --- Stat regressions ------------------------------------------------------
+
+TEST(CodarRouter, CyclesCountDistinctTimestampsFig2) {
+  // Hand-computed Fig. 2 timeline: the router visits t = 0 (T and
+  // CX q0,q2 launch), t = 1 (T's qubit frees, SWAP q1,q3 inserted), t = 2
+  // (CX q0,q2 frees; nothing can run — SWAP holds q1,q3 until 7) and t = 7
+  // (the final CX launches). Four distinct timestamps.
+  const RoutingResult result = CodarRouter(fig2_device()).route(fig2_program());
+  EXPECT_EQ(result.stats.cycles_simulated, 4u);
+}
+
+TEST(CodarRouter, CyclesNotInflatedByForcedSwapRounds) {
+  // Three pairwise-commuting CZ gates between the even corners of a
+  // 6-ring: every candidate SWAP has H_basic = 0 (each helps one gate and
+  // hurts another symmetrically), so the very first iteration deadlocks
+  // into force_swap. That forced round and the follow-up SWAP round happen
+  // at the same timestamp t = 0; the old per-iteration counter reported 6
+  // "cycles" where the router only worked at the 5 distinct times
+  // 0, 6, 8, 10, 16.
+  const arch::Device dev = arch::ring(6);
+  Circuit c(6, "cz_triangle");
+  c.cz(0, 2);
+  c.cz(2, 4);
+  c.cz(4, 0);
+  const RoutingResult result = CodarRouter(dev).route(c);
+  expect_routing_valid(c, result, dev);
+  EXPECT_GT(result.stats.forced_swaps, 0u);
+  EXPECT_EQ(result.stats.cycles_simulated, 5u);
+  EXPECT_EQ(result.stats.router_makespan, 18);
+}
+
+TEST(CodarRouter, BarriersReportedSeparatelyFromRoutedGates) {
+  const arch::Device dev = arch::linear(3);
+  Circuit c(3);
+  c.h(0);
+  const Qubit fence[] = {0, 1};
+  c.barrier(fence);
+  c.cx(0, 2);
+  c.barrier(fence);
+  c.measure(0);
+  const CodarRouter router(dev);
+  const RoutingResult result = router.route(c);
+  // Barriers are ordering fences, not operations: they must not inflate
+  // gates_routed (which feeds fidelity/ESP post-processing).
+  EXPECT_EQ(result.stats.barriers, 2u);
+  EXPECT_EQ(result.stats.gates_routed, c.size() - 2);
+  EXPECT_EQ(result.circuit.size(),
+            result.stats.gates_routed + result.stats.barriers +
+                result.stats.swaps_inserted);
+}
+
 TEST(CodarRouter, MeasureAndBarrierAreRouted) {
   const arch::Device dev = arch::linear(3);
   Circuit c(3);
@@ -302,10 +353,15 @@ TEST(CodarRouter, StatsAreConsistent) {
   const arch::Device dev = arch::grid(3, 3);
   const Circuit c = workloads::qft(6);
   const RoutingResult result = CodarRouter(dev).route(c);
-  EXPECT_EQ(result.stats.gates_routed, c.size());
+  EXPECT_EQ(result.stats.gates_routed, c.size());  // qft has no barriers
+  EXPECT_EQ(result.stats.barriers, 0u);
   EXPECT_EQ(result.circuit.size(), c.size() + result.stats.swaps_inserted);
   EXPECT_EQ(result.circuit.swap_count(), result.stats.swaps_inserted);
   EXPECT_GT(result.stats.cycles_simulated, 0u);
+  // Cycles are distinct simulated timestamps; the router can never visit
+  // more timestamps than its timeline has, plus the initial t = 0.
+  EXPECT_LE(result.stats.cycles_simulated,
+            static_cast<std::size_t>(result.stats.router_makespan) + 1);
   // The router's own timeline is exactly the ASAP schedule of its output.
   EXPECT_GE(result.stats.router_makespan,
             schedule::weighted_depth(result.circuit, dev.durations));

@@ -1,5 +1,8 @@
 #include "codar/core/qubit_lock.hpp"
 
+#include <cstdint>
+#include <span>
+
 #include <gtest/gtest.h>
 
 namespace codar::core {
@@ -67,6 +70,57 @@ TEST(QubitLockBank, NextExpiryAfter) {
   EXPECT_EQ(bank.next_expiry_after(0), 2);
   EXPECT_EQ(bank.next_expiry_after(2), 6);
   EXPECT_EQ(bank.next_expiry_after(6), 6);
+}
+
+TEST(QubitLockBank, NextExpirySkipsSupersededHeapEntries) {
+  // Re-locking a qubit leaves its old expiry in the lazy-deletion heap;
+  // the stale entry must be skipped, not returned.
+  QubitLockBank bank(2);
+  const Qubit q0[] = {0};
+  const Qubit q1[] = {1};
+  bank.lock(q0, 0, 2);
+  bank.lock(q1, 0, 6);
+  EXPECT_EQ(bank.next_expiry_after(0), 2);
+  bank.lock(q0, 2, 10);  // q0 now busy until 12; the (2, q0) entry is dead
+  EXPECT_EQ(bank.next_expiry_after(2), 6);
+  EXPECT_EQ(bank.next_expiry_after(6), 12);
+  EXPECT_EQ(bank.next_expiry_after(12), 12);
+}
+
+TEST(QubitLockBank, NextExpiryEnforcesMonotoneQueries) {
+  // The lazy-deletion heap discards elapsed entries, which is only sound
+  // when the clock never rewinds — the bank enforces that contract.
+  QubitLockBank bank(2);
+  const Qubit q0[] = {0};
+  bank.lock(q0, 0, 5);
+  EXPECT_EQ(bank.next_expiry_after(3), 5);
+  EXPECT_THROW(bank.next_expiry_after(1), ContractViolation);
+}
+
+TEST(QubitLockBank, HeapMatchesLinearScanUnderRandomTraffic) {
+  // Differential check against the former O(Q) implementation: the heap
+  // answer must equal min{t_end[q] : t_end[q] > now} at every step.
+  QubitLockBank bank(8);
+  std::uint64_t state = 42;
+  auto next_rand = [&]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  Duration now = 0;
+  for (int step = 0; step < 2000; ++step) {
+    const Qubit q = static_cast<Qubit>(next_rand() % 8);
+    if (bank.is_free(q, now)) {
+      bank.lock(std::span<const Qubit>(&q, 1), now,
+                static_cast<Duration>(next_rand() % 7));
+    }
+    Duration expected = now;
+    for (Qubit i = 0; i < 8; ++i) {
+      const Duration t = bank.t_end(i);
+      if (t > now && (expected == now || t < expected)) expected = t;
+    }
+    ASSERT_EQ(bank.next_expiry_after(now), expected) << "step " << step;
+    now = expected;  // advance like the router: to the next event
+  }
 }
 
 TEST(QubitLockBank, ZeroDurationLockIsImmediatelyFree) {

@@ -28,6 +28,18 @@ TEST(SabreRouter, HardwareCompliantCircuitPassesThrough) {
   expect_routing_valid(c, result, dev);
 }
 
+TEST(SabreRouter, BarriersNotCountedAsRoutedGates) {
+  const arch::Device dev = arch::linear(3);
+  Circuit c(3);
+  c.h(0);
+  const ir::Qubit fence[] = {0, 1};
+  c.barrier(fence);
+  c.cx(0, 1);
+  const RoutingResult result = SabreRouter(dev).route(c);
+  EXPECT_EQ(result.stats.barriers, 1u);
+  EXPECT_EQ(result.stats.gates_routed, c.size() - 1);
+}
+
 TEST(SabreRouter, InsertsSwapsForDistantGate) {
   const arch::Device dev = arch::linear(4);
   Circuit c(4);
