@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Bench regression gate: diff a fresh bench_router_throughput run against
+the committed baseline and fail on any routing-quality drift.
+
+Usage:
+    check_bench_regression.py BASELINE.json CANDIDATE.json
+
+Routing quality (swaps, makespan, cycles per benchmark) is deterministic,
+so ANY difference is a regression (or an improvement that must be
+committed deliberately by refreshing the baseline). Wall time is machine-
+dependent and stays informational: it is printed but never gates.
+
+Exit codes: 0 = no drift, 1 = drift or benchmark set mismatch,
+2 = bad invocation / unreadable input.
+"""
+
+import json
+import sys
+
+GATED_FIELDS = ("swaps", "makespan", "cycles")
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        print(f"error: {path} has no 'results' array", file=sys.stderr)
+        sys.exit(2)
+    return doc, {row["name"]: row for row in results}
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    baseline_doc, baseline = load(argv[1])
+    candidate_doc, candidate = load(argv[2])
+
+    drift = []
+    missing = sorted(baseline.keys() - candidate.keys())
+    extra = sorted(candidate.keys() - baseline.keys())
+    for name in missing:
+        drift.append(f"{name}: missing from candidate run")
+    for name in extra:
+        drift.append(f"{name}: not in baseline (refresh {argv[1]}?)")
+
+    for name in sorted(baseline.keys() & candidate.keys()):
+        for field in GATED_FIELDS:
+            want, got = baseline[name].get(field), candidate[name].get(field)
+            if want != got:
+                drift.append(f"{name}: {field} {want} -> {got}")
+
+    base_ms = baseline_doc.get("summary", {}).get("total_wall_ms")
+    cand_ms = candidate_doc.get("summary", {}).get("total_wall_ms")
+    if base_ms and cand_ms:
+        print(f"wall time (informational): baseline {base_ms:.1f} ms, "
+              f"candidate {cand_ms:.1f} ms "
+              f"({cand_ms / base_ms - 1.0:+.1%} vs baseline)")
+
+    if drift:
+        print(f"ROUTING-QUALITY DRIFT across {len(drift)} check(s):")
+        for line in drift:
+            print(f"  {line}")
+        print(f"\nIf this change is intentional, regenerate the baseline:\n"
+              f"  ./build/bench/bench_router_throughput {argv[1]}")
+        return 1
+
+    print(f"OK: {len(baseline)} benchmarks, "
+          f"{len(GATED_FIELDS)} gated fields each, no drift.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

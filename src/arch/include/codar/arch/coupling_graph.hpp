@@ -54,6 +54,12 @@ class CouplingGraph {
   bool has_coordinates() const { return !coords_.empty(); }
   Coordinate coordinate(Qubit q) const;
 
+  /// Content-addressed 64-bit fingerprint over qubit count, the edge set
+  /// (endpoint-normalized and sorted, so add_edge order is irrelevant) and
+  /// coordinates. Deterministic across runs — no pointers or hash-table
+  /// iteration order involved.
+  std::uint64_t fingerprint() const;
+
  private:
   void check_qubit(Qubit q) const;
   void ensure_distances() const;

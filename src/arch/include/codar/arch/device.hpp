@@ -16,6 +16,12 @@ struct Device {
   std::string name;
   CouplingGraph graph;
   DurationMap durations;
+
+  /// Content-addressed 64-bit fingerprint combining the coupling-graph and
+  /// duration-map fingerprints. The display name is deliberately excluded,
+  /// so two structurally identical devices fingerprint identically
+  /// regardless of how they were built or labeled.
+  std::uint64_t fingerprint() const;
 };
 
 /// IBM Q16 (2×8 lattice, 16 qubits, as in ibmqx5 Rüschlikon / the

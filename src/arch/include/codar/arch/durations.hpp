@@ -37,6 +37,10 @@ class DurationMap {
 
   Duration swap_duration() const { return of(ir::GateKind::kSwap); }
 
+  /// Content-addressed 64-bit fingerprint over the full duration table in
+  /// GateKind enum order. Deterministic across runs.
+  std::uint64_t fingerprint() const;
+
   // -- Technology presets (Table I) --
 
   /// Superconducting: 2-qubit ≈ 2× 1-qubit (IBM Q devices). 1q=1, 2q=2,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <deque>
 
+#include "codar/common/fnv.hpp"
+
 namespace codar::arch {
 
 CouplingGraph::CouplingGraph(int num_qubits) : num_qubits_(num_qubits) {
@@ -87,6 +89,28 @@ Coordinate CouplingGraph::coordinate(Qubit q) const {
   check_qubit(q);
   CODAR_EXPECTS(has_coordinates());
   return coords_[static_cast<std::size_t>(q)];
+}
+
+std::uint64_t CouplingGraph::fingerprint() const {
+  common::Fnv1a h;
+  h.u64(1);  // fingerprint schema version
+  h.i64(num_qubits_);
+  std::vector<std::pair<Qubit, Qubit>> sorted = edges_;
+  for (auto& [a, b] : sorted) {
+    if (a > b) std::swap(a, b);
+  }
+  std::sort(sorted.begin(), sorted.end());
+  h.u64(sorted.size());
+  for (const auto& [a, b] : sorted) {
+    h.i64(a);
+    h.i64(b);
+  }
+  h.byte(has_coordinates() ? 1 : 0);
+  for (const Coordinate& c : coords_) {
+    h.i64(c.row);
+    h.i64(c.col);
+  }
+  return h.value();
 }
 
 }  // namespace codar::arch

@@ -2,7 +2,17 @@
 
 #include <map>
 
+#include "codar/common/fnv.hpp"
+
 namespace codar::arch {
+
+std::uint64_t Device::fingerprint() const {
+  common::Fnv1a h;
+  h.u64(1);  // fingerprint schema version
+  h.u64(graph.fingerprint());
+  h.u64(durations.fingerprint());
+  return h.value();
+}
 
 namespace {
 

@@ -1,5 +1,7 @@
 #include "codar/arch/durations.hpp"
 
+#include "codar/common/fnv.hpp"
+
 namespace codar::arch {
 
 using ir::GateKind;
@@ -75,6 +77,14 @@ DurationMap DurationMap::uniform() {
   m.set(GateKind::kSwap, 3);
   m.set(GateKind::kCCX, 6);
   return m;
+}
+
+std::uint64_t DurationMap::fingerprint() const {
+  common::Fnv1a h;
+  h.u64(1);  // fingerprint schema version
+  h.u64(table_.size());
+  for (const Duration d : table_) h.i64(d);
+  return h.value();
 }
 
 }  // namespace codar::arch

@@ -1,54 +1,21 @@
 #pragma once
 
 // The driver behind the `codar` binary, exposed as a library so the
-// integration tests can exercise exactly what the CLI runs. Two entry
-// points: route_circuit (one circuit → one report) and run_batch (a job
-// list fanned out over a thread pool, share-nothing per job, results in
-// input order regardless of thread count).
+// integration tests can exercise exactly what the CLI runs. The one-circuit
+// pipeline (route_circuit + RouteReport + to_json) lives in report.hpp;
+// this header adds the batch fan-out (run_batch: a job list over a thread
+// pool, share-nothing per job, results in input order regardless of thread
+// count) and the full single/batch CLI entry point.
 
 #include <string>
 #include <vector>
 
 #include "codar/arch/device.hpp"
 #include "codar/cli/options.hpp"
-#include "codar/ir/circuit.hpp"
+#include "codar/cli/report.hpp"
 #include "codar/workloads/suite.hpp"
 
 namespace codar::cli {
-
-/// Everything the driver reports about one routed circuit. All counters are
-/// integers so the JSON rendering is bit-exact across runs and thread
-/// counts.
-struct RouteReport {
-  std::string name;
-  std::string error;         ///< Nonempty = the job failed; other fields stale.
-  bool verified = false;     ///< verify_routing passed (false if skipped).
-  bool verify_skipped = false;
-  int qubits = 0;            ///< Logical qubits used by the input.
-  std::size_t gates_in = 0;
-  std::size_t gates_out = 0; ///< Routed gates incl. SWAPs.
-  std::size_t gates_routed = 0;  ///< Real (non-barrier) input gates routed.
-  std::size_t barriers = 0;      ///< Barrier fences carried through.
-  std::size_t swaps = 0;
-  std::size_t forced_swaps = 0;
-  std::size_t escape_swaps = 0;
-  std::size_t cycles = 0;        ///< Distinct simulated timestamps (CODAR).
-  std::size_t route_us = 0;      ///< route() wall time, microseconds.
-  arch::Duration makespan = 0;   ///< Router's own timeline length.
-  arch::Duration depth_in = 0;   ///< Duration-weighted depth before routing.
-  arch::Duration depth_out = 0;  ///< ... and after (the paper's metric).
-  std::string routed_qasm;       ///< Empty in batch mode.
-
-  bool ok() const { return error.empty() && (verified || verify_skipped); }
-};
-
-/// Routes one circuit on `device` per `opts` (router, mapping, CodarConfig,
-/// verify). Lowers Toffolis first; runs the peephole pass when requested.
-/// Never throws for routing/verification problems — failures land in
-/// `error`. `keep_qasm` controls whether routed_qasm is rendered.
-RouteReport route_circuit(const ir::Circuit& circuit,
-                          const arch::Device& device, const Options& opts,
-                          bool keep_qasm);
 
 /// Routes every job across `opts.threads` worker threads (0 = hardware
 /// concurrency). Jobs are claimed from a shared atomic counter; each worker
@@ -57,13 +24,6 @@ RouteReport route_circuit(const ir::Circuit& circuit,
 std::vector<RouteReport> run_batch(
     const std::vector<workloads::BenchmarkSpec>& jobs,
     const arch::Device& device, const Options& opts);
-
-/// JSON object for one report (stable key order, integers only).
-std::string to_json(const RouteReport& report, const Options& opts);
-
-/// JSON array over all reports plus a summary object.
-std::string to_json(const std::vector<RouteReport>& reports,
-                    const Options& opts);
 
 /// Full CLI: parse args, run single or batch mode, write QASM/stats to the
 /// configured streams/files. Returns the process exit code.

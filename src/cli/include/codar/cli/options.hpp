@@ -6,6 +6,7 @@
 // files, or the built-in 71-benchmark suite).
 
 #include <cstdint>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -56,6 +57,17 @@ struct Options {
 
 /// Parses argv (excluding argv[0]). Throws UsageError on malformed input.
 Options parse_args(const std::vector<std::string>& args);
+
+/// Shared option plumbing for every subcommand: tries to consume one
+/// routing-related flag (--device/--router/--initial/--seed/
+/// --mapping-rounds/--threads/--no-verify/--timing/--peephole and the
+/// CODAR ablation knobs) into `opts`. `value` must yield the flag's
+/// argument (and may throw UsageError when none is left). Returns false
+/// when `arg` is not a routing flag, so the caller can handle its own
+/// mode/I-O flags. Used by parse_args and by `codar serve`, whose
+/// requests default to the flags given on the serve command line.
+bool parse_routing_flag(Options& opts, const std::string& arg,
+                        const std::function<std::string()>& value);
 
 /// The full usage/help text.
 std::string usage();

@@ -37,85 +37,95 @@ std::string to_string(MappingKind kind) {
   return "?";
 }
 
+bool parse_routing_flag(Options& opts, const std::string& arg,
+                        const std::function<std::string()>& value) {
+  if (arg == "--device" || arg == "-d") {
+    opts.device = value();
+  } else if (arg == "--router" || arg == "-r") {
+    const std::string v = value();
+    if (v == "codar") {
+      opts.router = RouterKind::kCodar;
+    } else if (v == "sabre") {
+      opts.router = RouterKind::kSabre;
+    } else if (v == "astar") {
+      opts.router = RouterKind::kAstar;
+    } else {
+      throw UsageError("unknown router '" + v +
+                       "' (expected codar|sabre|astar)");
+    }
+  } else if (arg == "--initial") {
+    const std::string v = value();
+    if (v == "identity") {
+      opts.mapping = MappingKind::kIdentity;
+    } else if (v == "greedy") {
+      opts.mapping = MappingKind::kGreedy;
+    } else if (v == "sabre") {
+      opts.mapping = MappingKind::kSabre;
+    } else {
+      throw UsageError("unknown initial mapping '" + v +
+                       "' (expected identity|greedy|sabre)");
+    }
+  } else if (arg == "--threads" || arg == "-j") {
+    opts.threads = static_cast<int>(to_int(arg, value()));
+    if (opts.threads < 0) throw UsageError("--threads must be >= 0");
+  } else if (arg == "--seed") {
+    opts.seed = static_cast<std::uint64_t>(to_int(arg, value()));
+  } else if (arg == "--mapping-rounds") {
+    opts.mapping_rounds = static_cast<int>(to_int(arg, value()));
+    if (opts.mapping_rounds < 0) {
+      throw UsageError("--mapping-rounds must be >= 0");
+    }
+  } else if (arg == "--no-verify") {
+    opts.verify = false;
+  } else if (arg == "--timing") {
+    opts.timing = true;
+  } else if (arg == "--peephole") {
+    opts.peephole = true;
+  } else if (arg == "--no-context") {
+    opts.codar.context_aware = false;
+  } else if (arg == "--no-duration") {
+    opts.codar.duration_aware = false;
+  } else if (arg == "--no-commutativity") {
+    opts.codar.commutativity_aware = false;
+  } else if (arg == "--no-fine-priority") {
+    opts.codar.fine_priority = false;
+  } else if (arg == "--window") {
+    opts.codar.front_window = static_cast<int>(to_int(arg, value()));
+  } else if (arg == "--stagnation") {
+    opts.codar.stagnation_threshold = static_cast<int>(to_int(arg, value()));
+    if (opts.codar.stagnation_threshold < 1) {
+      throw UsageError("--stagnation must be >= 1");
+    }
+  } else {
+    return false;
+  }
+  return true;
+}
+
 Options parse_args(const std::vector<std::string>& args) {
   Options opts;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
-    auto value = [&]() -> const std::string& {
+    auto value = [&]() -> std::string {
       if (i + 1 >= args.size()) {
         throw UsageError(arg + " expects a value");
       }
       return args[++i];
     };
-    if (arg == "--help" || arg == "-h") {
+    if (parse_routing_flag(opts, arg, value)) {
+      continue;
+    } else if (arg == "--help" || arg == "-h") {
       opts.help = true;
     } else if (arg == "--list-devices") {
       opts.list_devices = true;
-    } else if (arg == "--device" || arg == "-d") {
-      opts.device = value();
-    } else if (arg == "--router" || arg == "-r") {
-      const std::string& v = value();
-      if (v == "codar") {
-        opts.router = RouterKind::kCodar;
-      } else if (v == "sabre") {
-        opts.router = RouterKind::kSabre;
-      } else if (v == "astar") {
-        opts.router = RouterKind::kAstar;
-      } else {
-        throw UsageError("unknown router '" + v +
-                         "' (expected codar|sabre|astar)");
-      }
-    } else if (arg == "--initial") {
-      const std::string& v = value();
-      if (v == "identity") {
-        opts.mapping = MappingKind::kIdentity;
-      } else if (v == "greedy") {
-        opts.mapping = MappingKind::kGreedy;
-      } else if (v == "sabre") {
-        opts.mapping = MappingKind::kSabre;
-      } else {
-        throw UsageError("unknown initial mapping '" + v +
-                         "' (expected identity|greedy|sabre)");
-      }
     } else if (arg == "--batch") {
       opts.batch_dir = value();
     } else if (arg == "--suite") {
       opts.suite = true;
-    } else if (arg == "--threads" || arg == "-j") {
-      opts.threads = static_cast<int>(to_int(arg, value()));
-      if (opts.threads < 0) throw UsageError("--threads must be >= 0");
     } else if (arg == "--output" || arg == "-o") {
       opts.output_path = value();
     } else if (arg == "--stats") {
       opts.stats_path = value();
-    } else if (arg == "--seed") {
-      opts.seed = static_cast<std::uint64_t>(to_int(arg, value()));
-    } else if (arg == "--mapping-rounds") {
-      opts.mapping_rounds = static_cast<int>(to_int(arg, value()));
-      if (opts.mapping_rounds < 0) {
-        throw UsageError("--mapping-rounds must be >= 0");
-      }
-    } else if (arg == "--no-verify") {
-      opts.verify = false;
-    } else if (arg == "--timing") {
-      opts.timing = true;
-    } else if (arg == "--peephole") {
-      opts.peephole = true;
-    } else if (arg == "--no-context") {
-      opts.codar.context_aware = false;
-    } else if (arg == "--no-duration") {
-      opts.codar.duration_aware = false;
-    } else if (arg == "--no-commutativity") {
-      opts.codar.commutativity_aware = false;
-    } else if (arg == "--no-fine-priority") {
-      opts.codar.fine_priority = false;
-    } else if (arg == "--window") {
-      opts.codar.front_window = static_cast<int>(to_int(arg, value()));
-    } else if (arg == "--stagnation") {
-      opts.codar.stagnation_threshold = static_cast<int>(to_int(arg, value()));
-      if (opts.codar.stagnation_threshold < 1) {
-        throw UsageError("--stagnation must be >= 1");
-      }
     } else if (!arg.empty() && arg[0] == '-') {
       throw UsageError("unknown flag '" + arg + "'");
     } else {
@@ -146,6 +156,8 @@ usage:
   codar [options] FILE.qasm...       route the given OpenQASM 2.0 files
   codar [options] --batch DIR        route every *.qasm under DIR (parallel)
   codar [options] --suite            route the built-in 71-benchmark suite
+  codar serve [options]              NDJSON routing service with a route
+                                     cache (see codar serve --help)
   codar --list-devices               print every device spec
 
 modes and I/O:

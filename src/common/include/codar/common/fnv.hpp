@@ -1,0 +1,56 @@
+#pragma once
+
+// 64-bit FNV-1a streaming hasher for the content-addressed fingerprints in
+// ir:: and arch::. Deterministic across runs, platforms and build modes:
+// everything is folded in as explicit little-endian integer bytes (doubles
+// via their IEEE-754 bit pattern), variable-length fields are
+// length-prefixed, and callers are expected to feed container contents in a
+// canonical order (program order for gates, sorted for edge sets).
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace codar::common {
+
+class Fnv1a {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ull;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ull;
+
+  std::uint64_t value() const { return state_; }
+
+  void byte(std::uint8_t b) {
+    state_ ^= b;
+    state_ *= kPrime;
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      byte(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  /// IEEE-754 bit pattern; normalizes -0.0 to +0.0 so equal-comparing
+  /// parameter values fingerprint identically.
+  void f64(double v) {
+    if (v == 0.0) v = 0.0;
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+
+  /// Length-prefixed, so consecutive strings cannot alias each other.
+  void str(std::string_view s) {
+    u64(s.size());
+    for (const char c : s) byte(static_cast<std::uint8_t>(c));
+  }
+
+ private:
+  std::uint64_t state_ = kOffsetBasis;
+};
+
+}  // namespace codar::common

@@ -88,6 +88,14 @@ class Circuit {
   /// register of `new_num_qubits` qubits.
   Circuit remapped(std::span<const Qubit> remap, int new_num_qubits) const;
 
+  /// Content-addressed 64-bit fingerprint over register width and the gate
+  /// sequence (kind, operands, parameter bit patterns) in program order.
+  /// The display name is deliberately excluded, so structurally identical
+  /// circuits fingerprint identically. Deterministic across runs, platforms
+  /// and thread counts (pure arithmetic over the stored data — no pointers
+  /// or hash-table iteration order involved).
+  std::uint64_t fingerprint() const;
+
  private:
   int num_qubits_;
   std::string name_;

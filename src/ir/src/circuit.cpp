@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "codar/common/fnv.hpp"
+
 namespace codar::ir {
 
 Circuit::Circuit(int num_qubits, std::string name)
@@ -66,6 +68,21 @@ Circuit Circuit::remapped(std::span<const Qubit> remap,
     }));
   }
   return out;
+}
+
+std::uint64_t Circuit::fingerprint() const {
+  common::Fnv1a h;
+  h.u64(1);  // fingerprint schema version
+  h.i64(num_qubits_);
+  h.u64(gates_.size());
+  for (const Gate& g : gates_) {
+    h.byte(static_cast<std::uint8_t>(g.kind()));
+    h.byte(static_cast<std::uint8_t>(g.num_qubits()));
+    for (const Qubit q : g.qubits()) h.i64(q);
+    h.byte(static_cast<std::uint8_t>(g.num_params()));
+    for (const double p : g.params()) h.f64(p);
+  }
+  return h.value();
 }
 
 }  // namespace codar::ir

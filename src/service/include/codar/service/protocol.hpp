@@ -1,0 +1,58 @@
+#pragma once
+
+// The `codar serve` NDJSON request protocol. One request per line:
+//
+//   {"id": 1, "qasm": "OPENQASM 2.0; ...", "device": "tokyo",
+//    "router": "codar", "options": {"initial": "sabre", "seed": 17}}
+//   {"id": 2, "suite_name": "qft_8"}
+//   {"id": 3, "cmd": "stats"}
+//
+// Route requests carry either inline OpenQASM (`qasm`) or the name of a
+// built-in suite benchmark (`suite_name`), plus optional device/router
+// selection and an `options` object mirroring the CLI's routing knobs.
+// Unspecified fields inherit the defaults given on the `codar serve`
+// command line. `{"cmd": "stats"}` is a control request: the server drains
+// all in-flight work, then reports cache and request counters.
+
+#include <cstdint>
+#include <string>
+
+#include "codar/cli/options.hpp"
+
+namespace codar::service {
+
+/// Raised on malformed request lines; `what()` goes into the error
+/// response verbatim.
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One parsed request line.
+struct ServeRequest {
+  enum class Kind { kRoute, kStats };
+
+  Kind kind = Kind::kRoute;
+  /// The request id re-rendered as a JSON token (number verbatim, string
+  /// re-quoted, "null" when absent) so responses echo it byte-exactly.
+  std::string id_json = "null";
+  std::string qasm;        ///< Inline OpenQASM source, or ...
+  std::string suite_name;  ///< ... a built-in suite benchmark name.
+  std::string name;        ///< Optional display name for the report.
+  cli::Options opts;       ///< defaults overlaid with per-request fields.
+};
+
+/// Parses one NDJSON request line on top of the server-wide `defaults`.
+/// Throws ProtocolError (malformed JSON, unknown keys/kinds, missing or
+/// conflicting circuit source).
+ServeRequest parse_request(const std::string& line,
+                           const cli::Options& defaults);
+
+/// Fingerprint over every Options field that can change a routed result or
+/// its cached report: router, initial mapping, seed, mapping rounds,
+/// peephole, verify, and the CODAR ablation knobs. Deliberately excludes
+/// presentation-only fields (device spec string, timing, threads, paths) —
+/// the device is fingerprinted separately from its content.
+std::uint64_t options_fingerprint(const cli::Options& opts);
+
+}  // namespace codar::service

@@ -1,0 +1,119 @@
+#pragma once
+
+// Sharded, content-addressed route cache for `codar serve`. Keys are
+// (circuit fingerprint, device fingerprint, options fingerprint) triples —
+// all three content-addressed, so the same circuit under a different label
+// or a structurally identical device under a different spec string still
+// hits. Values are full RouteReports.
+//
+// Concurrency model: keys are spread over N independently locked shards
+// (LRU list + hash map each), so workers routing different circuits never
+// contend. Within a shard, concurrent requests for the SAME key are
+// single-flighted: the first requester routes while later ones block on
+// the in-flight entry and reuse its result — a burst of identical requests
+// routes exactly once. Eviction is LRU under a global byte budget split
+// evenly across shards.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "codar/cli/report.hpp"
+
+namespace codar::service {
+
+/// Content-addressed cache key. All three components are fingerprints
+/// (ir::Circuit::fingerprint, arch::Device::fingerprint,
+/// options_fingerprint).
+struct CacheKey {
+  std::uint64_t circuit = 0;
+  std::uint64_t device = 0;
+  std::uint64_t options = 0;
+
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+};
+
+/// Cache-wide counters (sums over shards).
+struct CacheCounters {
+  std::size_t entries = 0;    ///< Resident entries.
+  std::size_t bytes = 0;      ///< Approximate resident bytes.
+  std::size_t hits = 0;       ///< Lookups served without routing
+                              ///< (memoized or coalesced in-flight).
+  std::size_t misses = 0;     ///< Lookups that had to route.
+  std::size_t evictions = 0;  ///< Entries dropped by the LRU budget.
+};
+
+class RouteCache {
+ public:
+  /// `byte_budget` caps the total resident report bytes (split evenly
+  /// across shards); 0 disables memoization entirely (every lookup routes,
+  /// counted as a miss). `num_shards` must be >= 1.
+  explicit RouteCache(std::size_t byte_budget, int num_shards = 8);
+
+  /// Returns the cached report for `key`, or invokes `route` to produce
+  /// it, stores it and returns it. Concurrent calls with the same key
+  /// route once (single-flight). `hit`, when non-null, is set to true iff
+  /// the report came from the cache or a coalesced in-flight route.
+  cli::RouteReport get_or_route(
+      const CacheKey& key, const std::function<cli::RouteReport()>& route,
+      bool* hit = nullptr);
+
+  CacheCounters counters() const;
+
+  /// Times a resident entry was served from the cache (its per-entry hit
+  /// counter); 0 when absent. Eviction resets it along with the entry.
+  std::size_t entry_hits(const CacheKey& key) const;
+
+  std::size_t byte_budget() const { return byte_budget_; }
+
+  /// Approximate resident size of one report (struct + string storage).
+  static std::size_t report_bytes(const cli::RouteReport& report);
+
+ private:
+  struct Entry {
+    CacheKey key;
+    cli::RouteReport report;
+    std::size_t bytes = 0;
+    std::size_t hits = 0;
+  };
+
+  /// A route in progress; later requesters for the same key block on cv.
+  struct Inflight {
+    std::mutex m;
+    std::condition_variable cv;
+    bool ready = false;
+    cli::RouteReport report;
+  };
+
+  struct KeyHash {
+    std::size_t operator()(const CacheKey& k) const;
+  };
+
+  struct Shard {
+    mutable std::mutex m;
+    std::list<Entry> lru;  ///< Front = most recently used.
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index;
+    std::unordered_map<CacheKey, std::shared_ptr<Inflight>, KeyHash> inflight;
+    std::size_t bytes = 0;
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+  };
+
+  Shard& shard_for(const CacheKey& key);
+  const Shard& shard_for(const CacheKey& key) const;
+  /// Inserts under the shard lock, then evicts LRU tails over budget.
+  void insert_locked(Shard& shard, const CacheKey& key,
+                     const cli::RouteReport& report);
+
+  std::size_t byte_budget_;
+  std::size_t shard_budget_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace codar::service

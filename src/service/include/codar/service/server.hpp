@@ -1,0 +1,54 @@
+#pragma once
+
+// The `codar serve` loop: a resident routing service that reads
+// newline-delimited JSON requests (see protocol.hpp) from an input stream,
+// fans route work out over a worker pool fronted by the content-addressed
+// RouteCache, and streams back one NDJSON response per request:
+//
+//   {"id": 1, "cached": false, "result": { ...batch stats schema... }}
+//   {"id": 3, "requests": 2, "routed": 1, "errors": 0, "cache": {...}}
+//   {"id": null, "error": "..."}                     (malformed request)
+//
+// The "result" object is byte-identical to what the one-shot batch driver
+// emits for the same circuit/device/options (locked by the serve
+// differential test). Responses stream in completion order, tagged with
+// the request id; a {"cmd":"stats"} request acts as a barrier — it drains
+// every request enqueued before it, so its counters are deterministic.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "codar/cli/options.hpp"
+
+namespace codar::service {
+
+struct ServeOptions {
+  /// Per-request defaults: device, router, initial mapping, CODAR knobs.
+  /// `threads` sizes the worker pool (0 = hardware concurrency).
+  cli::Options defaults;
+  std::size_t cache_bytes = 256u << 20;  ///< Route-cache budget; 0 = off.
+  int cache_shards = 8;
+  bool help = false;
+};
+
+/// Parses `codar serve` arguments (everything after the subcommand word).
+/// Accepts every routing flag of the batch CLI as a request default, plus
+/// --cache-bytes / --cache-shards. Throws cli::UsageError.
+ServeOptions parse_serve_args(const std::vector<std::string>& args);
+
+/// The `codar serve --help` text.
+std::string serve_usage();
+
+/// Runs the service until EOF on `in`, writing NDJSON responses to `out`
+/// and human-readable startup/shutdown notes to `err`. Returns the process
+/// exit code.
+int run_serve(const ServeOptions& opts, std::istream& in, std::ostream& out,
+              std::ostream& err);
+
+/// CLI wrapper: parse args, then run_serve. Returns the process exit code.
+int run_serve_cli(const std::vector<std::string>& args, std::istream& in,
+                  std::ostream& out, std::ostream& err);
+
+}  // namespace codar::service

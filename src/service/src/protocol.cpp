@@ -1,0 +1,189 @@
+#include "codar/service/protocol.hpp"
+
+#include <cmath>
+
+#include "codar/common/fnv.hpp"
+#include "codar/service/json.hpp"
+
+namespace codar::service {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what) { throw ProtocolError(what); }
+
+const std::string& require_string(const Json& v, const char* key) {
+  if (!v.is_string()) bad(std::string("'") + key + "' must be a string");
+  return v.as_string();
+}
+
+bool require_bool(const Json& v, const char* key) {
+  if (!v.is_bool()) bad(std::string("'") + key + "' must be a boolean");
+  return v.as_bool();
+}
+
+long long require_int(const Json& v, const char* key) {
+  if (!v.is_number()) bad(std::string("'") + key + "' must be an integer");
+  const double d = v.as_number();
+  if (d != std::floor(d) || std::abs(d) > 9.0e15) {
+    bad(std::string("'") + key + "' must be an integer");
+  }
+  return static_cast<long long>(d);
+}
+
+/// Applies one member of the request's "options" object. Mirrors the CLI
+/// flags one-to-one (see parse_routing_flag); key names use underscores.
+void apply_option(cli::Options& opts, const std::string& key,
+                  const Json& v) {
+  if (key == "initial") {
+    const std::string& name = require_string(v, "initial");
+    if (name == "identity") {
+      opts.mapping = cli::MappingKind::kIdentity;
+    } else if (name == "greedy") {
+      opts.mapping = cli::MappingKind::kGreedy;
+    } else if (name == "sabre") {
+      opts.mapping = cli::MappingKind::kSabre;
+    } else {
+      bad("unknown initial mapping '" + name +
+          "' (expected identity|greedy|sabre)");
+    }
+  } else if (key == "seed") {
+    opts.seed = static_cast<std::uint64_t>(require_int(v, "seed"));
+  } else if (key == "mapping_rounds") {
+    const long long n = require_int(v, "mapping_rounds");
+    if (n < 0) bad("'mapping_rounds' must be >= 0");
+    opts.mapping_rounds = static_cast<int>(n);
+  } else if (key == "peephole") {
+    opts.peephole = require_bool(v, "peephole");
+  } else if (key == "verify") {
+    opts.verify = require_bool(v, "verify");
+  } else if (key == "timing") {
+    opts.timing = require_bool(v, "timing");
+  } else if (key == "context") {
+    opts.codar.context_aware = require_bool(v, "context");
+  } else if (key == "duration") {
+    opts.codar.duration_aware = require_bool(v, "duration");
+  } else if (key == "commutativity") {
+    opts.codar.commutativity_aware = require_bool(v, "commutativity");
+  } else if (key == "fine_priority") {
+    opts.codar.fine_priority = require_bool(v, "fine_priority");
+  } else if (key == "window") {
+    opts.codar.front_window = static_cast<int>(require_int(v, "window"));
+  } else if (key == "stagnation") {
+    const long long n = require_int(v, "stagnation");
+    if (n < 1) bad("'stagnation' must be >= 1");
+    opts.codar.stagnation_threshold = static_cast<int>(n);
+  } else {
+    bad("unknown option '" + key + "'");
+  }
+}
+
+}  // namespace
+
+ServeRequest parse_request(const std::string& line,
+                           const cli::Options& defaults) {
+  Json doc = [&] {
+    try {
+      return Json::parse(line);
+    } catch (const JsonError& e) {
+      throw ProtocolError(e.what());
+    }
+  }();
+  if (!doc.is_object()) bad("request must be a JSON object");
+  // Strict schema: a typo'd key (e.g. "devics") must error, not silently
+  // route with server defaults — same policy as inside "options". Same
+  // for duplicates, where find() would silently drop all but the first.
+  for (std::size_t i = 0; i < doc.members().size(); ++i) {
+    const std::string& key = doc.members()[i].first;
+    if (key != "id" && key != "cmd" && key != "qasm" &&
+        key != "suite_name" && key != "name" && key != "device" &&
+        key != "router" && key != "options") {
+      bad("unknown request key '" + key + "'");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (doc.members()[j].first == key) {
+        bad("duplicate request key '" + key + "'");
+      }
+    }
+  }
+
+  ServeRequest req;
+  req.opts = defaults;
+  if (const Json* id = doc.find("id")) {
+    if (id->is_number()) {
+      req.id_json = id->raw_number();
+    } else if (id->is_string()) {
+      req.id_json = json_quote(id->as_string());
+    } else if (!id->is_null()) {
+      bad("'id' must be a number or string");
+    }
+  }
+
+  if (const Json* cmd = doc.find("cmd")) {
+    const std::string& name = require_string(*cmd, "cmd");
+    if (name != "stats") bad("unknown cmd '" + name + "'");
+    // Same strict-schema policy as route requests: a control line
+    // carrying route payload is a client bug, not something to drop.
+    for (const char* key : {"qasm", "suite_name", "name", "device",
+                            "router", "options"}) {
+      if (doc.find(key)) {
+        bad(std::string("'") + key + "' is not valid in a control request");
+      }
+    }
+    req.kind = ServeRequest::Kind::kStats;
+    return req;
+  }
+
+  const Json* qasm = doc.find("qasm");
+  const Json* suite = doc.find("suite_name");
+  if ((qasm != nullptr) == (suite != nullptr)) {
+    bad("route requests need exactly one of 'qasm' or 'suite_name'");
+  }
+  if (qasm) req.qasm = require_string(*qasm, "qasm");
+  if (suite) req.suite_name = require_string(*suite, "suite_name");
+
+  if (const Json* name = doc.find("name")) {
+    req.name = require_string(*name, "name");
+  }
+  if (const Json* device = doc.find("device")) {
+    req.opts.device = require_string(*device, "device");
+  }
+  if (const Json* router = doc.find("router")) {
+    const std::string& name = require_string(*router, "router");
+    if (name == "codar") {
+      req.opts.router = cli::RouterKind::kCodar;
+    } else if (name == "sabre") {
+      req.opts.router = cli::RouterKind::kSabre;
+    } else if (name == "astar") {
+      req.opts.router = cli::RouterKind::kAstar;
+    } else {
+      bad("unknown router '" + name + "' (expected codar|sabre|astar)");
+    }
+  }
+  if (const Json* options = doc.find("options")) {
+    if (!options->is_object()) bad("'options' must be an object");
+    for (const auto& [key, value] : options->members()) {
+      apply_option(req.opts, key, value);
+    }
+  }
+  return req;
+}
+
+std::uint64_t options_fingerprint(const cli::Options& opts) {
+  common::Fnv1a h;
+  h.u64(1);  // fingerprint schema version
+  h.byte(static_cast<std::uint8_t>(opts.router));
+  h.byte(static_cast<std::uint8_t>(opts.mapping));
+  h.u64(opts.seed);
+  h.i64(opts.mapping_rounds);
+  h.byte(opts.peephole ? 1 : 0);
+  h.byte(opts.verify ? 1 : 0);
+  h.byte(opts.codar.context_aware ? 1 : 0);
+  h.byte(opts.codar.duration_aware ? 1 : 0);
+  h.byte(opts.codar.commutativity_aware ? 1 : 0);
+  h.byte(opts.codar.fine_priority ? 1 : 0);
+  h.i64(opts.codar.front_window);
+  h.i64(opts.codar.stagnation_threshold);
+  return h.value();
+}
+
+}  // namespace codar::service

@@ -1,0 +1,146 @@
+#include "codar/service/route_cache.hpp"
+
+#include "codar/common/expects.hpp"
+#include "codar/common/fnv.hpp"
+
+namespace codar::service {
+
+std::size_t RouteCache::KeyHash::operator()(const CacheKey& k) const {
+  common::Fnv1a h;
+  h.u64(k.circuit);
+  h.u64(k.device);
+  h.u64(k.options);
+  return static_cast<std::size_t>(h.value());
+}
+
+RouteCache::RouteCache(std::size_t byte_budget, int num_shards)
+    : byte_budget_(byte_budget),
+      shard_budget_(byte_budget / static_cast<std::size_t>(
+                                      num_shards > 0 ? num_shards : 1)),
+      shards_(static_cast<std::size_t>(num_shards)) {
+  CODAR_EXPECTS(num_shards >= 1);
+}
+
+RouteCache::Shard& RouteCache::shard_for(const CacheKey& key) {
+  return shards_[static_cast<std::size_t>(KeyHash{}(key)) % shards_.size()];
+}
+
+const RouteCache::Shard& RouteCache::shard_for(const CacheKey& key) const {
+  return shards_[static_cast<std::size_t>(KeyHash{}(key)) % shards_.size()];
+}
+
+std::size_t RouteCache::report_bytes(const cli::RouteReport& report) {
+  return sizeof(cli::RouteReport) + report.name.capacity() +
+         report.error.capacity() + report.routed_qasm.capacity();
+}
+
+void RouteCache::insert_locked(Shard& shard, const CacheKey& key,
+                               const cli::RouteReport& report) {
+  Entry entry{key, report, report_bytes(report), /*hits=*/0};
+  // An entry that alone exceeds the shard budget is rejected up front
+  // (counted as an eviction): admitting it first would flush every warm
+  // resident entry before the oversized one got dropped anyway.
+  if (entry.bytes > shard_budget_) {
+    ++shard.evictions;
+    return;
+  }
+  shard.bytes += entry.bytes;
+  shard.lru.push_front(std::move(entry));
+  shard.index[key] = shard.lru.begin();
+  // Evict from the cold end until back under budget.
+  while (shard.bytes > shard_budget_ && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+cli::RouteReport RouteCache::get_or_route(
+    const CacheKey& key, const std::function<cli::RouteReport()>& route,
+    bool* hit) {
+  if (byte_budget_ == 0) {
+    Shard& shard = shard_for(key);
+    {
+      const std::lock_guard<std::mutex> lock(shard.m);
+      ++shard.misses;
+    }
+    if (hit) *hit = false;
+    return route();
+  }
+
+  Shard& shard = shard_for(key);
+  std::shared_ptr<Inflight> flight;
+  {
+    std::unique_lock<std::mutex> lock(shard.m);
+    if (const auto it = shard.index.find(key); it != shard.index.end()) {
+      ++shard.hits;
+      ++it->second->hits;
+      // Refresh LRU position.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      if (hit) *hit = true;
+      return it->second->report;
+    }
+    if (const auto it = shard.inflight.find(key);
+        it != shard.inflight.end()) {
+      // Someone is already routing this key: wait for their result
+      // instead of burning a worker on a duplicate route.
+      flight = it->second;
+      ++shard.hits;
+    } else {
+      flight = std::make_shared<Inflight>();
+      shard.inflight.emplace(key, flight);
+      ++shard.misses;
+      lock.unlock();
+
+      cli::RouteReport report;
+      try {
+        report = route();
+      } catch (const std::exception& e) {
+        report.error = e.what();
+      }
+
+      lock.lock();
+      insert_locked(shard, key, report);
+      shard.inflight.erase(key);
+      lock.unlock();
+
+      {
+        const std::lock_guard<std::mutex> flight_lock(flight->m);
+        flight->report = report;
+        flight->ready = true;
+      }
+      flight->cv.notify_all();
+      if (hit) *hit = false;
+      return report;
+    }
+  }
+
+  std::unique_lock<std::mutex> flight_lock(flight->m);
+  flight->cv.wait(flight_lock, [&] { return flight->ready; });
+  if (hit) *hit = true;
+  return flight->report;
+}
+
+CacheCounters RouteCache::counters() const {
+  CacheCounters total;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.m);
+    total.entries += shard.lru.size();
+    total.bytes += shard.bytes;
+    total.hits += shard.hits;
+    total.misses += shard.misses;
+    total.evictions += shard.evictions;
+  }
+  return total;
+}
+
+std::size_t RouteCache::entry_hits(const CacheKey& key) const {
+  const Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.m);
+  const auto it = shard.index.find(key);
+  return it == shard.index.end() ? 0 : it->second->hits;
+}
+
+}  // namespace codar::service

@@ -1,0 +1,381 @@
+#include "codar/service/server.hpp"
+
+#include <atomic>
+#include <charconv>
+#include <condition_variable>
+#include <deque>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include "codar/cli/device_registry.hpp"
+#include "codar/cli/report.hpp"
+#include "codar/ir/circuit.hpp"
+#include "codar/qasm/parser.hpp"
+#include "codar/service/json.hpp"
+#include "codar/service/protocol.hpp"
+#include "codar/service/route_cache.hpp"
+#include "codar/workloads/suite.hpp"
+
+namespace codar::service {
+
+namespace {
+
+std::size_t parse_size(const std::string& flag, const std::string& value) {
+  std::size_t result = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), result);
+  if (ec != std::errc() || ptr != value.data() + value.size()) {
+    throw cli::UsageError(flag + " expects a non-negative integer, got '" +
+                          value + "'");
+  }
+  return result;
+}
+
+/// Everything one serve session owns: worker pool, request queue, route
+/// cache, and the device / suite memos shared across workers.
+class Server {
+ public:
+  /// A memoized device plus its content fingerprint (so the per-request
+  /// cache-key computation is a map lookup, not an O(edges) rehash).
+  struct DeviceEntry {
+    std::shared_ptr<const arch::Device> device;
+    std::uint64_t fingerprint = 0;
+  };
+
+  /// A memoized suite benchmark plus its content fingerprint.
+  struct SuiteEntry {
+    ir::Circuit circuit;
+    std::uint64_t fingerprint = 0;
+  };
+
+  Server(const ServeOptions& opts, std::ostream& out)
+      : opts_(opts),
+        cache_(opts.cache_bytes, opts.cache_shards),
+        out_(out) {}
+
+  void run(std::istream& in) {
+    int threads = opts_.defaults.threads > 0
+                      ? opts_.defaults.threads
+                      : static_cast<int>(std::thread::hardware_concurrency());
+    if (threads < 1) threads = 1;
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([this] { worker_loop(); });
+    }
+
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      handle_line(line);
+    }
+
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      done_ = true;
+    }
+    queue_ready_.notify_all();
+    for (std::thread& t : pool) t.join();
+  }
+
+ private:
+  void handle_line(const std::string& line) {
+    ServeRequest req;
+    try {
+      req = parse_request(line, opts_.defaults);
+    } catch (const ProtocolError& e) {
+      ++errors_;
+      write_response("{\"id\": " + best_effort_id(line) + ", \"error\": " +
+                     json_quote(e.what()) + "}");
+      return;
+    }
+    if (req.kind == ServeRequest::Kind::kStats) {
+      // Barrier: a stats request reports on everything enqueued before it,
+      // so drain the queue and all in-flight work first.
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      drained_.wait(lock, [this] { return pending_ == 0; });
+      lock.unlock();
+      write_response(stats_response(req));
+      return;
+    }
+    ++requests_;
+    {
+      // Bounded queue: when the workers fall behind, the reader blocks
+      // instead of buffering all of stdin in memory.
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_space_.wait(lock,
+                        [this] { return queue_.size() < kMaxQueuedRequests; });
+      ++pending_;
+      queue_.push_back(std::move(req));
+    }
+    queue_ready_.notify_one();
+  }
+
+  void worker_loop() {
+    for (;;) {
+      ServeRequest req;
+      {
+        std::unique_lock<std::mutex> lock(queue_mutex_);
+        queue_ready_.wait(lock, [this] { return !queue_.empty() || done_; });
+        if (queue_.empty()) return;
+        req = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      queue_space_.notify_one();
+      write_response(process(req));
+      {
+        const std::lock_guard<std::mutex> lock(queue_mutex_);
+        --pending_;
+      }
+      drained_.notify_all();
+    }
+  }
+
+  std::string process(const ServeRequest& req) {
+    cli::RouteReport report;
+    bool cached = false;
+    // Resolved before the try block so error responses carry the same
+    // name a successful route would (the qasm-parsed name is refined
+    // below once parsing has succeeded).
+    std::string display_name =
+        !req.name.empty() ? req.name : req.suite_name;
+    try {
+      const DeviceEntry device = device_for(req.opts.device);
+      // Resolve the circuit source. Suite entries are memoized together
+      // with their fingerprints, so the cache-hit fast path never copies
+      // a circuit or rehashes its gates; inline QASM has to be parsed
+      // (and therefore fingerprinted) fresh each time.
+      const ir::Circuit* circuit = nullptr;
+      ir::Circuit parsed(0);  // placeholder until a qasm request fills it
+      std::uint64_t circuit_fp = 0;
+      if (!req.suite_name.empty()) {
+        const SuiteEntry& entry = suite_entry(req.suite_name);
+        circuit = &entry.circuit;
+        circuit_fp = entry.fingerprint;
+      } else {
+        parsed = qasm::parse(req.qasm);
+        circuit = &parsed;
+        circuit_fp = parsed.fingerprint();
+        if (display_name.empty()) display_name = parsed.name();
+      }
+
+      const CacheKey key{circuit_fp, device.fingerprint,
+                         options_fingerprint(req.opts)};
+      report = cache_.get_or_route(
+          key,
+          [&] {
+            return cli::route_circuit(*circuit, *device.device, req.opts,
+                                      /*keep_qasm=*/false);
+          },
+          &cached);
+      if (!cached) ++routed_;
+      // The cache is content-addressed (names excluded from the circuit
+      // fingerprint), so a hit may carry another requester's label.
+      report.name = display_name;
+    } catch (const std::exception& e) {
+      report.name = display_name;
+      report.error = e.what();
+    }
+    return "{\"id\": " + req.id_json +
+           ", \"cached\": " + (cached ? "true" : "false") +
+           ", \"result\": " + cli::to_json(report, req.opts) + "}";
+  }
+
+  std::string stats_response(const ServeRequest& req) const {
+    const CacheCounters c = cache_.counters();
+    std::ostringstream out;
+    out << "{\"id\": " << req.id_json << ", \"requests\": " << requests_
+        << ", \"routed\": " << routed_ << ", \"errors\": " << errors_
+        << ", \"cache\": {\"entries\": " << c.entries
+        << ", \"bytes\": " << c.bytes << ", \"budget\": " << opts_.cache_bytes
+        << ", \"hits\": " << c.hits << ", \"misses\": " << c.misses
+        << ", \"evictions\": " << c.evictions << "}}";
+    return out.str();
+  }
+
+  /// Pulls the id out of a request line that failed validation, so even
+  /// error responses can be correlated. Falls back to null.
+  static std::string best_effort_id(const std::string& line) {
+    try {
+      const Json doc = Json::parse(line);
+      if (const Json* id = doc.find("id")) {
+        if (id->is_number()) return id->raw_number();
+        if (id->is_string()) return json_quote(id->as_string());
+      }
+    } catch (const JsonError&) {
+    }
+    return "null";
+  }
+
+  DeviceEntry device_for(const std::string& spec) {
+    {
+      const std::lock_guard<std::mutex> lock(devices_mutex_);
+      if (const auto it = devices_.find(spec); it != devices_.end()) {
+        return it->second;
+      }
+    }
+    // Construction (including the all-pairs BFS pre-warm) runs outside
+    // the lock so a cold lookup never stalls other workers. Two racing
+    // cold lookups both build; emplace keeps the first, the loser's copy
+    // is discarded — cheaper than single-flighting device construction.
+    auto device =
+        std::make_shared<const arch::Device>(cli::make_device(spec));
+    // Force the lazily computed all-pairs distance matrix now, while this
+    // thread holds the only reference — workers then only ever read it.
+    device->graph.distance(0, 0);
+    DeviceEntry entry{device, device->fingerprint()};
+    const std::lock_guard<std::mutex> lock(devices_mutex_);
+    return devices_.emplace(spec, std::move(entry)).first->second;
+  }
+
+  const SuiteEntry& suite_entry(const std::string& name) {
+    // Built exactly once; immutable afterwards, so lookups run lock-free
+    // and returned references stay valid for the server's lifetime.
+    std::call_once(suite_once_, [this] {
+      for (workloads::BenchmarkSpec& spec : workloads::benchmark_suite()) {
+        const std::uint64_t fp = spec.circuit.fingerprint();
+        suite_index_.emplace(spec.name,
+                             SuiteEntry{std::move(spec.circuit), fp});
+      }
+    });
+    const auto it = suite_index_.find(name);
+    if (it == suite_index_.end()) {
+      throw ProtocolError("unknown suite benchmark '" + name + "'");
+    }
+    return it->second;
+  }
+
+  void write_response(const std::string& line) {
+    const std::lock_guard<std::mutex> lock(out_mutex_);
+    out_ << line << '\n' << std::flush;
+  }
+
+  const ServeOptions& opts_;
+  RouteCache cache_;
+
+  std::ostream& out_;
+  std::mutex out_mutex_;
+
+  /// Backpressure bound: the reader stops ahead of the workers here.
+  static constexpr std::size_t kMaxQueuedRequests = 1024;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_ready_;
+  std::condition_variable queue_space_;
+  std::condition_variable drained_;
+  std::deque<ServeRequest> queue_;
+  std::size_t pending_ = 0;  ///< Enqueued but not yet responded to.
+  bool done_ = false;
+
+  std::mutex devices_mutex_;
+  std::unordered_map<std::string, DeviceEntry> devices_;
+
+  std::once_flag suite_once_;
+  std::unordered_map<std::string, SuiteEntry> suite_index_;
+
+  std::atomic<std::size_t> requests_{0};  ///< Route requests accepted.
+  std::atomic<std::size_t> routed_{0};    ///< Requests actually routed.
+  std::atomic<std::size_t> errors_{0};    ///< Malformed request lines.
+};
+
+}  // namespace
+
+ServeOptions parse_serve_args(const std::vector<std::string>& args) {
+  ServeOptions opts;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= args.size()) {
+        throw cli::UsageError(arg + " expects a value");
+      }
+      return args[++i];
+    };
+    if (cli::parse_routing_flag(opts.defaults, arg, value)) {
+      continue;
+    } else if (arg == "--help" || arg == "-h") {
+      opts.help = true;
+    } else if (arg == "--cache-bytes") {
+      opts.cache_bytes = parse_size(arg, value());
+    } else if (arg == "--cache-shards") {
+      const std::size_t shards = parse_size(arg, value());
+      // Upper bound before the int cast: 2^32 would truncate to 0 and
+      // blow past RouteCache's num_shards >= 1 contract.
+      if (shards < 1 || shards > 4096) {
+        throw cli::UsageError("--cache-shards must be in [1, 4096]");
+      }
+      opts.cache_shards = static_cast<int>(shards);
+    } else {
+      throw cli::UsageError("unknown serve flag '" + arg + "'");
+    }
+  }
+  return opts;
+}
+
+std::string serve_usage() {
+  return R"(codar serve — resident NDJSON routing service with a route cache
+
+usage:
+  codar serve [options]        read requests from stdin until EOF
+
+Requests are newline-delimited JSON objects:
+  {"id": 1, "qasm": "OPENQASM 2.0; ...", "device": "tokyo",
+   "router": "codar", "options": {"initial": "sabre", "seed": 17}}
+  {"id": 2, "suite_name": "qft_8"}       route a built-in suite benchmark
+  {"id": 3, "cmd": "stats"}              barrier + cache/request counters
+
+Each response is one JSON line: {"id", "cached", "result"} where "result"
+is byte-identical to the batch driver's stats object for the same inputs.
+Identical (circuit, device, options) requests are served from a sharded
+LRU route cache; concurrent duplicates route once.
+
+service options:
+      --cache-bytes N   route-cache byte budget (default 268435456; 0
+                        disables caching)
+      --cache-shards N  number of independently locked shards (default 8)
+      --threads, -j N   worker threads (0 = hardware concurrency)
+
+request defaults (overridable per request; same meaning as in batch mode):
+  -d, --device SPEC  -r, --router NAME  --initial NAME  --seed N
+      --mapping-rounds N  --peephole  --no-verify  --timing
+      --no-context --no-duration --no-commutativity --no-fine-priority
+      --window N --stagnation N
+)";
+}
+
+int run_serve(const ServeOptions& opts, std::istream& in, std::ostream& out,
+              std::ostream& err) {
+  try {
+    // Fail fast on an unknown default device instead of erroring every
+    // request.
+    cli::make_device(opts.defaults.device);
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 2;
+  }
+  Server server(opts, out);
+  server.run(in);
+  return 0;
+}
+
+int run_serve_cli(const std::vector<std::string>& args, std::istream& in,
+                  std::ostream& out, std::ostream& err) {
+  ServeOptions opts;
+  try {
+    opts = parse_serve_args(args);
+  } catch (const cli::UsageError& e) {
+    err << "error: " << e.what() << "\n\n" << serve_usage();
+    return 2;
+  }
+  if (opts.help) {
+    out << serve_usage();
+    return 0;
+  }
+  return run_serve(opts, in, out, err);
+}
+
+}  // namespace codar::service

@@ -100,5 +100,47 @@ TEST(DeviceParameters, TableOneSurvey) {
   EXPECT_EQ(duration_ratio_cycles(params[5]), 1);
 }
 
+// -- Fingerprints -----------------------------------------------------------
+
+TEST(DeviceFingerprint, PinnedValues) {
+  // Pinned across runs, platforms and build modes: the serve route cache
+  // keys on these, so a silent change would invalidate persisted caches.
+  // If a fingerprint-schema change is intentional, bump the version tag
+  // and re-pin.
+  const Device tokyo = ibm_q20_tokyo();
+  EXPECT_EQ(tokyo.graph.fingerprint(), 0xb9d107e764d6aeb7ull);
+  EXPECT_EQ(tokyo.durations.fingerprint(), 0x5e2f25065b076676ull);
+  EXPECT_EQ(tokyo.fingerprint(), 0xa45ad997861235b9ull);
+  EXPECT_EQ(ibm_q5_yorktown().fingerprint(), 0x63ba986fd82cb3beull);
+}
+
+TEST(DeviceFingerprint, IndependentOfEdgeInsertionOrder) {
+  CouplingGraph forward(3);
+  forward.add_edge(0, 1);
+  forward.add_edge(1, 2);
+  CouplingGraph backward(3);
+  backward.add_edge(2, 1);
+  backward.add_edge(1, 0);
+  EXPECT_EQ(forward.fingerprint(), backward.fingerprint());
+}
+
+TEST(DeviceFingerprint, IgnoresNameButNotStructure) {
+  Device a = linear(4);
+  Device b = linear(4);
+  b.name = "renamed";
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+  // Structure distinguishes: an extra edge, different durations.
+  EXPECT_NE(linear(4).fingerprint(), ring(4).fingerprint());
+  Device slow = linear(4, DurationMap::ion_trap());
+  EXPECT_NE(a.fingerprint(), slow.fingerprint());
+}
+
+TEST(DeviceFingerprint, StableAcrossCopies) {
+  const Device original = enfield_6x6();
+  const Device copy = original;  // different heap allocations
+  EXPECT_EQ(original.fingerprint(), copy.fingerprint());
+}
+
 }  // namespace
 }  // namespace codar::arch

@@ -98,5 +98,65 @@ TEST(Circuit, RemappedRejectsShortMap) {
   EXPECT_THROW(c.remapped(remap, 5), ContractViolation);
 }
 
+// -- Fingerprints -----------------------------------------------------------
+
+TEST(CircuitFingerprint, PinnedValues) {
+  // Pinned across runs, platforms and build modes: the serve route cache
+  // keys on these, so a silent change would invalidate persisted caches.
+  // If a fingerprint-schema change is intentional, bump the version tag in
+  // Circuit::fingerprint and re-pin.
+  Circuit ghz(3, "ghz");
+  ghz.h(0);
+  ghz.cx(0, 1);
+  ghz.cx(1, 2);
+  EXPECT_EQ(ghz.fingerprint(), 0x2c6528ed2659d711ull);
+
+  Circuit rot(2);
+  rot.rz(0, 0.5);
+  rot.cx(0, 1);
+  EXPECT_EQ(rot.fingerprint(), 0x815b71b962e6d544ull);
+}
+
+TEST(CircuitFingerprint, IgnoresNameButNotStructure) {
+  Circuit a(3, "first");
+  a.h(0);
+  a.cx(0, 1);
+  Circuit b(3, "second");
+  b.h(0);
+  b.cx(0, 1);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+  b.set_name("first");
+  b.t(2);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+
+  // Register width, operand order and parameter values all distinguish.
+  Circuit wide(4, "first");
+  wide.h(0);
+  wide.cx(0, 1);
+  EXPECT_NE(a.fingerprint(), wide.fingerprint());
+
+  Circuit flipped(3, "first");
+  flipped.h(0);
+  flipped.cx(1, 0);
+  EXPECT_NE(a.fingerprint(), flipped.fingerprint());
+
+  Circuit angle_a(1);
+  angle_a.rz(0, 0.25);
+  Circuit angle_b(1);
+  angle_b.rz(0, 0.50);
+  EXPECT_NE(angle_a.fingerprint(), angle_b.fingerprint());
+}
+
+TEST(CircuitFingerprint, GateOrderMatters) {
+  Circuit ab(2);
+  ab.h(0);
+  ab.h(1);
+  Circuit ba(2);
+  ba.h(1);
+  ba.h(0);
+  EXPECT_NE(ab.fingerprint(), ba.fingerprint());
+}
+
 }  // namespace
 }  // namespace codar::ir

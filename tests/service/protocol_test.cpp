@@ -1,0 +1,172 @@
+// Tests for the serve protocol layer: the dependency-free JSON parser and
+// the request-line → Options mapping.
+
+#include "codar/service/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "codar/service/json.hpp"
+
+namespace codar::service {
+namespace {
+
+// -- Json -------------------------------------------------------------------
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(Json::parse("-2.5e2").as_number(), -250.0);
+  EXPECT_EQ(Json::parse("17").raw_number(), "17");
+  EXPECT_EQ(Json::parse("\"hi\\nthere\"").as_string(), "hi\nthere");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const Json doc = Json::parse(
+      R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}, "f": ""})");
+  ASSERT_TRUE(doc.is_object());
+  const Json* a = doc.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->items()[0].as_number(), 1.0);
+  EXPECT_EQ(a->items()[2].find("b")->as_string(), "c");
+  EXPECT_TRUE(doc.find("d")->find("e")->is_null());
+  EXPECT_EQ(doc.find("f")->as_string(), "");
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(Json, DecodesUnicodeEscapes) {
+  EXPECT_EQ(Json::parse(R"("\u0041")").as_string(), "A");
+  EXPECT_EQ(Json::parse(R"("\u00e9")").as_string(), "\xC3\xA9");  // é
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(Json::parse(R"("\ud83d\ude00")").as_string(),
+            "\xF0\x9F\x98\x80");
+  EXPECT_THROW(Json::parse(R"("\ud83d")").as_string(), JsonError);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), JsonError);
+  EXPECT_THROW(Json::parse("{"), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\": }"), JsonError);
+  EXPECT_THROW(Json::parse("[1,]"), JsonError);
+  EXPECT_THROW(Json::parse("nul"), JsonError);
+  EXPECT_THROW(Json::parse("01x"), JsonError);
+  // RFC 8259 forbids leading zeros; ids echo verbatim so "007" would
+  // poison response lines.
+  EXPECT_THROW(Json::parse("007"), JsonError);
+  EXPECT_THROW(Json::parse("-01"), JsonError);
+  EXPECT_EQ(Json::parse("0").raw_number(), "0");
+  EXPECT_DOUBLE_EQ(Json::parse("0.5").as_number(), 0.5);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+  EXPECT_THROW(Json::parse("{} extra"), JsonError);
+  // Control characters must be escaped.
+  EXPECT_THROW(Json::parse("\"a\nb\""), JsonError);
+}
+
+TEST(Json, DepthCapStopsHostileNesting) {
+  const std::string bomb(10000, '[');
+  EXPECT_THROW(Json::parse(bomb), JsonError);
+}
+
+TEST(Json, QuoteEscapesControlCharacters) {
+  EXPECT_EQ(json_quote("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+  EXPECT_EQ(json_quote(std::string_view("\x01", 1)), "\"\\u0001\"");
+}
+
+// -- parse_request ----------------------------------------------------------
+
+cli::Options defaults() {
+  cli::Options opts;
+  opts.device = "tokyo";
+  return opts;
+}
+
+TEST(ParseRequest, MinimalSuiteRequest) {
+  const ServeRequest req =
+      parse_request(R"({"id": 7, "suite_name": "qft_8"})", defaults());
+  EXPECT_EQ(req.kind, ServeRequest::Kind::kRoute);
+  EXPECT_EQ(req.id_json, "7");
+  EXPECT_EQ(req.suite_name, "qft_8");
+  EXPECT_TRUE(req.qasm.empty());
+  EXPECT_EQ(req.opts.device, "tokyo");  // inherited default
+}
+
+TEST(ParseRequest, FullRouteRequest) {
+  const ServeRequest req = parse_request(
+      R"({"id": "abc", "qasm": "OPENQASM 2.0;", "device": "linear:5",
+          "router": "sabre", "name": "mine",
+          "options": {"initial": "greedy", "seed": 3, "verify": false,
+                      "window": 42, "context": false}})",
+      defaults());
+  EXPECT_EQ(req.id_json, "\"abc\"");
+  EXPECT_EQ(req.qasm, "OPENQASM 2.0;");
+  EXPECT_EQ(req.name, "mine");
+  EXPECT_EQ(req.opts.device, "linear:5");
+  EXPECT_EQ(req.opts.router, cli::RouterKind::kSabre);
+  EXPECT_EQ(req.opts.mapping, cli::MappingKind::kGreedy);
+  EXPECT_EQ(req.opts.seed, 3u);
+  EXPECT_FALSE(req.opts.verify);
+  EXPECT_EQ(req.opts.codar.front_window, 42);
+  EXPECT_FALSE(req.opts.codar.context_aware);
+  EXPECT_TRUE(req.opts.codar.duration_aware);  // untouched default
+}
+
+TEST(ParseRequest, StatsCommand) {
+  const ServeRequest req =
+      parse_request(R"({"id": 1, "cmd": "stats"})", defaults());
+  EXPECT_EQ(req.kind, ServeRequest::Kind::kStats);
+  EXPECT_EQ(req.id_json, "1");
+
+  // Control requests are just as strictly validated as route requests:
+  // stray route payload is a client bug, not something to drop.
+  EXPECT_THROW(
+      parse_request(R"({"cmd": "stats", "qasm": "garbage"})", defaults()),
+      ProtocolError);
+  EXPECT_THROW(
+      parse_request(R"({"cmd": "stats", "device": "q16"})", defaults()),
+      ProtocolError);
+}
+
+TEST(ParseRequest, RejectsBadRequests) {
+  const cli::Options d = defaults();
+  EXPECT_THROW(parse_request("not json", d), ProtocolError);
+  EXPECT_THROW(parse_request("[1,2]", d), ProtocolError);
+  // Needs exactly one circuit source.
+  EXPECT_THROW(parse_request(R"({"id": 1})", d), ProtocolError);
+  EXPECT_THROW(
+      parse_request(R"({"qasm": "x", "suite_name": "y"})", d),
+      ProtocolError);
+  EXPECT_THROW(parse_request(R"({"cmd": "reboot"})", d), ProtocolError);
+  EXPECT_THROW(
+      parse_request(R"({"qasm": "x", "router": "qiskit"})", d),
+      ProtocolError);
+  EXPECT_THROW(
+      parse_request(R"({"qasm": "x", "options": {"wat": 1}})", d),
+      ProtocolError);
+  EXPECT_THROW(
+      parse_request(R"({"qasm": "x", "options": {"seed": "high"}})", d),
+      ProtocolError);
+  EXPECT_THROW(
+      parse_request(R"({"qasm": "x", "options": {"stagnation": 0}})", d),
+      ProtocolError);
+  EXPECT_THROW(parse_request(R"({"id": [], "qasm": "x"})", d),
+               ProtocolError);
+  // Strict top-level schema: a typo'd key must not silently fall back to
+  // server defaults.
+  EXPECT_THROW(
+      parse_request(R"({"id": 1, "qasm": "x", "devics": "q16"})", d),
+      ProtocolError);
+  EXPECT_THROW(
+      parse_request(R"({"id": 1, "suite_name": "x", "routers": "sabre"})", d),
+      ProtocolError);
+  // Duplicate keys are ambiguous (find() would keep only the first).
+  EXPECT_THROW(
+      parse_request(R"({"id": 1, "qasm": "a", "qasm": "b"})", d),
+      ProtocolError);
+  EXPECT_THROW(
+      parse_request(R"({"id": 1, "id": 2, "suite_name": "x"})", d),
+      ProtocolError);
+}
+
+}  // namespace
+}  // namespace codar::service

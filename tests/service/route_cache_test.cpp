@@ -1,0 +1,236 @@
+// RouteCache unit tests: content-addressed keying, LRU eviction under a
+// byte budget, single-flight coalescing, and counter correctness under
+// concurrent hammering.
+
+#include "codar/service/route_cache.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "codar/arch/device.hpp"
+#include "codar/service/protocol.hpp"
+
+namespace codar::service {
+namespace {
+
+cli::RouteReport report_named(const std::string& name, std::size_t swaps) {
+  cli::RouteReport r;
+  r.name = name;
+  r.swaps = swaps;
+  r.verified = true;
+  return r;
+}
+
+CacheKey key_of(std::uint64_t circuit, std::uint64_t device,
+                std::uint64_t options) {
+  return CacheKey{circuit, device, options};
+}
+
+TEST(RouteCache, MissRoutesThenHitsWithoutRouting) {
+  RouteCache cache(1 << 20, /*num_shards=*/1);
+  int routes = 0;
+  const CacheKey key = key_of(1, 2, 3);
+  auto route = [&] {
+    ++routes;
+    return report_named("a", 7);
+  };
+
+  bool hit = true;
+  cli::RouteReport r = cache.get_or_route(key, route, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(routes, 1);
+  EXPECT_EQ(r.swaps, 7u);
+
+  r = cache.get_or_route(key, route, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(routes, 1);  // served from cache, no second route
+  EXPECT_EQ(r.swaps, 7u);
+
+  const CacheCounters c = cache.counters();
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.entries, 1u);
+  EXPECT_EQ(cache.entry_hits(key), 1u);
+}
+
+TEST(RouteCache, DistinctKeyComponentsNeverCollide) {
+  // Any single differing component — circuit, device or options
+  // fingerprint — must select a distinct entry.
+  RouteCache cache(1 << 20, /*num_shards=*/4);
+  int routes = 0;
+  auto route = [&] { return report_named("r", static_cast<std::size_t>(++routes)); };
+
+  const std::vector<CacheKey> keys = {
+      key_of(1, 1, 1), key_of(2, 1, 1), key_of(1, 2, 1), key_of(1, 1, 2),
+  };
+  for (const CacheKey& k : keys) cache.get_or_route(k, route);
+  EXPECT_EQ(routes, 4);
+
+  // Re-requesting each key returns its own report, not a neighbour's.
+  std::size_t expected = 0;
+  for (const CacheKey& k : keys) {
+    bool hit = false;
+    const cli::RouteReport r = cache.get_or_route(k, route, &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(r.swaps, ++expected);
+  }
+  EXPECT_EQ(cache.counters().entries, 4u);
+}
+
+TEST(RouteCache, RealFingerprintsGiveDistinctKeys) {
+  // Sanity over the real fingerprint functions: different devices and
+  // different option sets produce different key components.
+  cli::Options base;
+  cli::Options sabre = base;
+  sabre.router = cli::RouterKind::kSabre;
+  cli::Options no_context = base;
+  no_context.codar.context_aware = false;
+  cli::Options reseeded = base;
+  reseeded.seed = base.seed + 1;
+  EXPECT_NE(options_fingerprint(base), options_fingerprint(sabre));
+  EXPECT_NE(options_fingerprint(base), options_fingerprint(no_context));
+  EXPECT_NE(options_fingerprint(base), options_fingerprint(reseeded));
+
+  EXPECT_NE(arch::ibm_q20_tokyo().fingerprint(),
+            arch::enfield_6x6().fingerprint());
+}
+
+TEST(RouteCache, TimingAndPathsDoNotChangeOptionsFingerprint) {
+  // Presentation-only fields must not fragment the cache.
+  cli::Options base;
+  cli::Options timed = base;
+  timed.timing = true;
+  timed.threads = 12;
+  timed.stats_path = "/tmp/x.json";
+  EXPECT_EQ(options_fingerprint(base), options_fingerprint(timed));
+}
+
+TEST(RouteCache, LruEvictionUnderByteBudget) {
+  // Budget for roughly two entries in one shard; the coldest key must go.
+  const cli::RouteReport sample = report_named("x", 0);
+  const std::size_t entry_bytes = RouteCache::report_bytes(sample);
+  RouteCache cache(2 * entry_bytes + entry_bytes / 2, /*num_shards=*/1);
+  auto route = [&] { return sample; };
+
+  cache.get_or_route(key_of(1, 0, 0), route);
+  cache.get_or_route(key_of(2, 0, 0), route);
+  EXPECT_EQ(cache.counters().entries, 2u);
+  EXPECT_EQ(cache.counters().evictions, 0u);
+
+  // Touch key 1 so key 2 is the LRU victim when key 3 arrives.
+  bool hit = false;
+  cache.get_or_route(key_of(1, 0, 0), route, &hit);
+  EXPECT_TRUE(hit);
+  cache.get_or_route(key_of(3, 0, 0), route);
+
+  const CacheCounters c = cache.counters();
+  EXPECT_EQ(c.entries, 2u);
+  EXPECT_EQ(c.evictions, 1u);
+  EXPECT_LE(c.bytes, cache.byte_budget());
+
+  // Keys 1 and 3 are resident; key 2 was the LRU victim and misses again.
+  cache.get_or_route(key_of(1, 0, 0), route, &hit);
+  EXPECT_TRUE(hit);
+  cache.get_or_route(key_of(3, 0, 0), route, &hit);
+  EXPECT_TRUE(hit);
+  cache.get_or_route(key_of(2, 0, 0), route, &hit);
+  EXPECT_FALSE(hit);
+}
+
+TEST(RouteCache, OversizedEntryDoesNotPinTheShard) {
+  cli::RouteReport huge = report_named("huge", 1);
+  huge.routed_qasm.assign(1 << 16, 'q');
+  RouteCache cache(256, /*num_shards=*/1);
+  cache.get_or_route(key_of(1, 0, 0), [&] { return huge; });
+  const CacheCounters c = cache.counters();
+  EXPECT_EQ(c.entries, 0u);  // rejected straight away
+  EXPECT_EQ(c.bytes, 0u);
+  EXPECT_EQ(c.evictions, 1u);
+}
+
+TEST(RouteCache, OversizedEntryDoesNotFlushWarmEntries) {
+  // An over-budget report must be rejected up front, not admitted and
+  // then evicted cold-end-first (which would flush the warm entries).
+  const cli::RouteReport small = report_named("s", 0);
+  const std::size_t entry_bytes = RouteCache::report_bytes(small);
+  RouteCache cache(3 * entry_bytes, /*num_shards=*/1);
+  auto route_small = [&] { return small; };
+  cache.get_or_route(key_of(1, 0, 0), route_small);
+  cache.get_or_route(key_of(2, 0, 0), route_small);
+
+  cli::RouteReport huge = report_named("huge", 1);
+  huge.routed_qasm.assign(16 * entry_bytes, 'q');
+  cache.get_or_route(key_of(3, 0, 0), [&] { return huge; });
+
+  // Both warm entries survived; only the oversized one was dropped.
+  bool hit = false;
+  cache.get_or_route(key_of(1, 0, 0), route_small, &hit);
+  EXPECT_TRUE(hit);
+  cache.get_or_route(key_of(2, 0, 0), route_small, &hit);
+  EXPECT_TRUE(hit);
+  const CacheCounters c = cache.counters();
+  EXPECT_EQ(c.entries, 2u);
+  EXPECT_EQ(c.evictions, 1u);
+}
+
+TEST(RouteCache, ZeroBudgetDisablesMemoization) {
+  RouteCache cache(0, /*num_shards=*/2);
+  int routes = 0;
+  auto route = [&] {
+    ++routes;
+    return report_named("a", 1);
+  };
+  for (int i = 0; i < 3; ++i) {
+    bool hit = true;
+    cache.get_or_route(key_of(9, 9, 9), route, &hit);
+    EXPECT_FALSE(hit);
+  }
+  EXPECT_EQ(routes, 3);
+  const CacheCounters c = cache.counters();
+  EXPECT_EQ(c.misses, 3u);
+  EXPECT_EQ(c.hits, 0u);
+  EXPECT_EQ(c.entries, 0u);
+}
+
+TEST(RouteCache, ConcurrentHitMissCountingIsExact) {
+  // N threads x M iterations over K distinct keys. Single-flight
+  // guarantees each key routes exactly once; every other lookup must be
+  // a hit, and hits + misses must equal total lookups.
+  constexpr int kThreads = 8;
+  constexpr int kIters = 50;
+  constexpr std::uint64_t kKeys = 5;
+
+  RouteCache cache(1 << 20, /*num_shards=*/4);
+  std::atomic<int> routes{0};
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const std::uint64_t k =
+            static_cast<std::uint64_t>(t + i) % kKeys;
+        const cli::RouteReport r = cache.get_or_route(
+            key_of(k, 0, 0), [&] {
+              ++routes;
+              return report_named("k", static_cast<std::size_t>(k));
+            });
+        // Every requester gets the right key's report, coalesced or not.
+        EXPECT_EQ(r.swaps, static_cast<std::size_t>(k));
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+
+  EXPECT_EQ(routes.load(), static_cast<int>(kKeys));
+  const CacheCounters c = cache.counters();
+  EXPECT_EQ(c.misses, kKeys);
+  EXPECT_EQ(c.hits + c.misses,
+            static_cast<std::size_t>(kThreads) * kIters);
+  EXPECT_EQ(c.entries, kKeys);
+}
+
+}  // namespace
+}  // namespace codar::service
