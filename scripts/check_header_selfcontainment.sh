@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Header self-containment check: compiles every public header under
+# src/*/include (and the src/include umbrella) standalone, so a header
+# that silently leans on its includer's context fails CI instead of the
+# next consumer. Usage:
+#
+#   scripts/check_header_selfcontainment.sh [compiler]
+#
+# The compiler defaults to $CXX, then g++. Exit 0 = every header compiles
+# on its own; 1 = at least one is not self-contained.
+set -u
+cd "$(dirname "$0")/.."
+
+CXX="${1:-${CXX:-g++}}"
+
+includes=()
+for dir in src/*/include src/include; do
+  [ -d "$dir" ] && includes+=("-I$dir")
+done
+
+probe="$(mktemp --suffix=.cpp)"
+trap 'rm -f "$probe"' EXIT
+
+status=0
+checked=0
+while IFS= read -r header; do
+  checked=$((checked + 1))
+  # Compile a one-line TU including the header (not the header itself, so
+  # `#pragma once` is not "in main file") with the project's warning set.
+  printf '#include "%s"\n' "$header" > "$probe"
+  if ! "$CXX" -std=c++20 -fsyntax-only -Wall -Wextra -Wpedantic -Werror \
+      -I. "${includes[@]}" "$probe"; then
+    echo "not self-contained: $header" >&2
+    status=1
+  fi
+done < <(find src/*/include src/include -name '*.hpp' | sort)
+
+if [ "$status" -eq 0 ]; then
+  echo "OK: $checked public headers are self-contained ($CXX)"
+else
+  echo "FAIL: some of the $checked public headers are not self-contained" >&2
+fi
+exit "$status"

@@ -1,57 +1,49 @@
 #pragma once
 
 // Command-line surface of the `codar` driver binary: QASM in, routed QASM
-// out, with device/router/initial-mapping selection, CodarConfig knobs,
-// JSON statistics and a multi-threaded batch mode (directory of .qasm
-// files, or the built-in 71-benchmark suite).
+// out, with device/router/initial-mapping selection, per-pass knobs, JSON
+// statistics and a multi-threaded batch mode (directory of .qasm files, or
+// the built-in 71-benchmark suite).
+//
+// Router and initial-mapping selection is string-keyed through the
+// pipeline registries: `--router`/`--initial` validate against the
+// registered names, `--list-routers`/`--list-mappings` enumerate them, and
+// pass-specific knob flags (the CODAR ablation switches, --seed,
+// --mapping-rounds) are parsed by the hooks the passes registered — a new
+// pass never needs a CLI edit.
 
-#include <cstdint>
 #include <functional>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
-#include "codar/core/codar_router.hpp"
+#include "codar/pipeline/registry.hpp"
+#include "codar/pipeline/spec.hpp"
 
 namespace codar::cli {
 
-/// Which routing pass to run.
-enum class RouterKind { kCodar, kSabre, kAstar };
-
-/// How the initial layout π is chosen.
-enum class MappingKind {
-  kIdentity,  ///< π(q) = q.
-  kGreedy,    ///< layout::greedy_interaction_layout.
-  kSabre,     ///< SABRE reverse-traversal refinement (the paper's protocol).
-};
-
 /// Raised on malformed command lines; `what()` is the message to print
-/// (the caller appends the usage text).
-class UsageError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
+/// (the caller appends the usage text). Shared with the pipeline layer so
+/// registry lookups and knob hooks throw the same type the CLI catches.
+using UsageError = pipeline::UsageError;
 
-struct Options {
+/// The routing-relevant core (router/mapping names, knobs, verify,
+/// peephole) is the library-level RoutingSpec; Options adds the CLI's
+/// I/O and presentation fields on top.
+struct Options : pipeline::RoutingSpec {
   std::vector<std::string> inputs;  ///< Positional .qasm files.
   std::string batch_dir;            ///< --batch DIR: route every *.qasm in DIR.
   bool suite = false;               ///< --suite: route the built-in suite.
 
   std::string device = "tokyo";     ///< --device SPEC (see device_registry).
-  RouterKind router = RouterKind::kCodar;      ///< --router codar|sabre|astar.
-  MappingKind mapping = MappingKind::kSabre;   ///< --initial identity|greedy|sabre.
-  core::CodarConfig codar;          ///< --no-context / --no-duration / ...
-  std::uint64_t seed = 17;          ///< --seed N (initial-mapping RNG).
-  int mapping_rounds = 3;           ///< --mapping-rounds N (SABRE refinement).
 
   int threads = 0;                  ///< --threads N; 0 = hardware concurrency.
-  bool verify = true;               ///< --no-verify skips verify_routing.
-  bool peephole = false;            ///< --peephole: pre-routing cleanup pass.
-  bool timing = false;              ///< --timing: route_us in the JSON stats.
+  bool timing = false;              ///< --timing: stage wall times in the JSON.
 
   std::string output_path;          ///< -o FILE: routed QASM (default stdout).
   std::string stats_path;           ///< --stats FILE: JSON (default stderr/stdout).
   bool list_devices = false;        ///< --list-devices.
+  bool list_routers = false;        ///< --list-routers.
+  bool list_mappings = false;       ///< --list-mappings.
   bool help = false;                ///< --help.
 };
 
@@ -59,21 +51,18 @@ struct Options {
 Options parse_args(const std::vector<std::string>& args);
 
 /// Shared option plumbing for every subcommand: tries to consume one
-/// routing-related flag (--device/--router/--initial/--seed/
-/// --mapping-rounds/--threads/--no-verify/--timing/--peephole and the
-/// CODAR ablation knobs) into `opts`. `value` must yield the flag's
-/// argument (and may throw UsageError when none is left). Returns false
-/// when `arg` is not a routing flag, so the caller can handle its own
-/// mode/I-O flags. Used by parse_args and by `codar serve`, whose
-/// requests default to the flags given on the serve command line.
+/// routing-related flag into `opts` — the generic selection flags
+/// (--device/--router/--initial/--threads/--no-verify/--timing/--peephole)
+/// plus any knob flag claimed by a registered pass's parsing hook.
+/// `value` must yield the flag's argument (and may throw UsageError when
+/// none is left). Returns false when `arg` is not a routing flag, so the
+/// caller can handle its own mode/I-O flags. Used by parse_args and by
+/// `codar serve`, whose requests default to the flags given on the serve
+/// command line.
 bool parse_routing_flag(Options& opts, const std::string& arg,
                         const std::function<std::string()>& value);
 
 /// The full usage/help text.
 std::string usage();
-
-/// Lower-case name of a router / mapping kind (for JSON and messages).
-std::string to_string(RouterKind kind);
-std::string to_string(MappingKind kind);
 
 }  // namespace codar::cli

@@ -1,10 +1,12 @@
 #pragma once
 
-// The shared routing pipeline behind every codar entry point: one circuit
-// in, one RouteReport out, plus the canonical JSON rendering of reports.
-// Extracted from driver.cpp so the batch driver and the `codar serve`
-// service (src/service) run byte-identical pipelines — the serve
-// differential test locks `to_json` output against batch output.
+// The canonical JSON rendering of route reports, plus the one-circuit
+// convenience wrapper the batch driver and the `codar serve` service
+// share. The pipeline itself (stage sequence, pass resolution, report
+// production) lives in codar::pipeline — this header is the presentation
+// layer: RouteReport → stable-key-order JSON, byte-identical across entry
+// points (the serve differential test locks `to_json` output against
+// batch output).
 
 #include <ostream>
 #include <string>
@@ -14,39 +16,19 @@
 #include "codar/arch/device.hpp"
 #include "codar/cli/options.hpp"
 #include "codar/ir/circuit.hpp"
+#include "codar/pipeline/pipeline.hpp"
 
 namespace codar::cli {
 
-/// Everything the driver reports about one routed circuit. All counters are
-/// integers so the JSON rendering is bit-exact across runs and thread
-/// counts.
-struct RouteReport {
-  std::string name;
-  std::string error;         ///< Nonempty = the job failed; other fields stale.
-  bool verified = false;     ///< verify_routing passed (false if skipped).
-  bool verify_skipped = false;
-  int qubits = 0;            ///< Logical qubits used by the input.
-  std::size_t gates_in = 0;
-  std::size_t gates_out = 0; ///< Routed gates incl. SWAPs.
-  std::size_t gates_routed = 0;  ///< Real (non-barrier) input gates routed.
-  std::size_t barriers = 0;      ///< Barrier fences carried through.
-  std::size_t swaps = 0;
-  std::size_t forced_swaps = 0;
-  std::size_t escape_swaps = 0;
-  std::size_t cycles = 0;        ///< Distinct simulated timestamps (CODAR).
-  std::size_t route_us = 0;      ///< route() wall time, microseconds.
-  arch::Duration makespan = 0;   ///< Router's own timeline length.
-  arch::Duration depth_in = 0;   ///< Duration-weighted depth before routing.
-  arch::Duration depth_out = 0;  ///< ... and after (the paper's metric).
-  std::string routed_qasm;       ///< Empty in batch mode.
+/// Everything the driver reports about one routed circuit — the pipeline's
+/// report type, re-exported under its historical CLI name.
+using RouteReport = pipeline::RouteReport;
 
-  bool ok() const { return error.empty() && (verified || verify_skipped); }
-};
-
-/// Routes one circuit on `device` per `opts` (router, mapping, CodarConfig,
-/// verify). Lowers Toffolis first; runs the peephole pass when requested.
-/// Never throws for routing/verification problems — failures land in
-/// `error`. `keep_qasm` controls whether routed_qasm is rendered.
+/// Routes one circuit on `device` per `opts` (router, mapping, knobs,
+/// verify) through a freshly resolved pipeline::Pipeline. Never throws for
+/// routing/verification problems — failures (including unknown router or
+/// mapping names) land in `error`. `keep_qasm` controls whether
+/// routed_qasm is rendered.
 RouteReport route_circuit(const ir::Circuit& circuit,
                           const arch::Device& device, const Options& opts,
                           bool keep_qasm);
@@ -54,7 +36,9 @@ RouteReport route_circuit(const ir::Circuit& circuit,
 /// Writes `s` as a JSON string literal (quoted, escaped) to `out`.
 void append_json_string(std::ostream& out, std::string_view s);
 
-/// JSON object for one report (stable key order, integers only).
+/// JSON object for one report (stable key order, integers only; the
+/// nondeterministic route_us/stage_us fields appear only under
+/// opts.timing).
 std::string to_json(const RouteReport& report, const Options& opts);
 
 /// JSON array over all reports plus a summary object.

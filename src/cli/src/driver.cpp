@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "codar/cli/device_registry.hpp"
+#include "codar/pipeline/registry.hpp"
 #include "codar/qasm/parser.hpp"
 
 namespace codar::cli {
@@ -148,7 +149,7 @@ int run_many(const Options& opts, const arch::Device& device,
       std::count_if(reports.begin(), reports.end(),
                     [](const RouteReport& r) { return !r.ok(); }));
   err << reports.size() - failed << "/" << reports.size() << " circuits "
-      << "routed on " << opts.device << " with " << to_string(opts.router)
+      << "routed on " << opts.device << " with " << opts.router
       << (failed ? " (FAILURES above)" : "") << "\n";
   return failed == 0 ? 0 : 1;
 }
@@ -171,6 +172,20 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
   if (opts.list_devices) {
     for (const DeviceEntry& entry : device_catalog()) {
       out << entry.spec << "\t" << entry.description << "\n";
+    }
+    return 0;
+  }
+  if (opts.list_routers) {
+    for (const pipeline::RouterEntry& entry :
+         pipeline::RouterRegistry::instance().entries()) {
+      out << entry.name << "\t" << entry.description << "\n";
+    }
+    return 0;
+  }
+  if (opts.list_mappings) {
+    for (const pipeline::MappingEntry& entry :
+         pipeline::MappingRegistry::instance().entries()) {
+      out << entry.name << "\t" << entry.description << "\n";
     }
     return 0;
   }

@@ -1,103 +1,42 @@
 #include "codar/cli/options.hpp"
 
-#include <charconv>
-
 namespace codar::cli {
-
-namespace {
-
-/// Parses a mandatory integral flag value; throws UsageError on garbage.
-long long to_int(const std::string& flag, const std::string& value) {
-  long long result = 0;
-  const auto [ptr, ec] =
-      std::from_chars(value.data(), value.data() + value.size(), result);
-  if (ec != std::errc() || ptr != value.data() + value.size()) {
-    throw UsageError(flag + " expects an integer, got '" + value + "'");
-  }
-  return result;
-}
-
-}  // namespace
-
-std::string to_string(RouterKind kind) {
-  switch (kind) {
-    case RouterKind::kCodar: return "codar";
-    case RouterKind::kSabre: return "sabre";
-    case RouterKind::kAstar: return "astar";
-  }
-  return "?";
-}
-
-std::string to_string(MappingKind kind) {
-  switch (kind) {
-    case MappingKind::kIdentity: return "identity";
-    case MappingKind::kGreedy: return "greedy";
-    case MappingKind::kSabre: return "sabre";
-  }
-  return "?";
-}
 
 bool parse_routing_flag(Options& opts, const std::string& arg,
                         const std::function<std::string()>& value) {
   if (arg == "--device" || arg == "-d") {
     opts.device = value();
   } else if (arg == "--router" || arg == "-r") {
-    const std::string v = value();
-    if (v == "codar") {
-      opts.router = RouterKind::kCodar;
-    } else if (v == "sabre") {
-      opts.router = RouterKind::kSabre;
-    } else if (v == "astar") {
-      opts.router = RouterKind::kAstar;
-    } else {
-      throw UsageError("unknown router '" + v +
-                       "' (expected codar|sabre|astar)");
-    }
+    // Validate eagerly so a typo fails at parse time with the registered
+    // names, not at route time.
+    opts.router = pipeline::RouterRegistry::instance().at(value()).name;
   } else if (arg == "--initial") {
-    const std::string v = value();
-    if (v == "identity") {
-      opts.mapping = MappingKind::kIdentity;
-    } else if (v == "greedy") {
-      opts.mapping = MappingKind::kGreedy;
-    } else if (v == "sabre") {
-      opts.mapping = MappingKind::kSabre;
-    } else {
-      throw UsageError("unknown initial mapping '" + v +
-                       "' (expected identity|greedy|sabre)");
-    }
+    opts.mapping = pipeline::MappingRegistry::instance().at(value()).name;
   } else if (arg == "--threads" || arg == "-j") {
-    opts.threads = static_cast<int>(to_int(arg, value()));
+    opts.threads = static_cast<int>(pipeline::knob_int(arg, value()));
     if (opts.threads < 0) throw UsageError("--threads must be >= 0");
-  } else if (arg == "--seed") {
-    opts.seed = static_cast<std::uint64_t>(to_int(arg, value()));
-  } else if (arg == "--mapping-rounds") {
-    opts.mapping_rounds = static_cast<int>(to_int(arg, value()));
-    if (opts.mapping_rounds < 0) {
-      throw UsageError("--mapping-rounds must be >= 0");
+  } else if (arg == "--set") {
+    // Free-form knob for externally registered passes (see
+    // RoutingSpec::extras); built-in knobs have dedicated flags.
+    const std::string kv = value();
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw UsageError("--set expects KEY=VALUE, got '" + kv + "'");
     }
+    opts.set_extra(kv.substr(0, eq), kv.substr(eq + 1));
   } else if (arg == "--no-verify") {
     opts.verify = false;
   } else if (arg == "--timing") {
     opts.timing = true;
   } else if (arg == "--peephole") {
     opts.peephole = true;
-  } else if (arg == "--no-context") {
-    opts.codar.context_aware = false;
-  } else if (arg == "--no-duration") {
-    opts.codar.duration_aware = false;
-  } else if (arg == "--no-commutativity") {
-    opts.codar.commutativity_aware = false;
-  } else if (arg == "--no-fine-priority") {
-    opts.codar.fine_priority = false;
-  } else if (arg == "--window") {
-    opts.codar.front_window = static_cast<int>(to_int(arg, value()));
-  } else if (arg == "--stagnation") {
-    opts.codar.stagnation_threshold = static_cast<int>(to_int(arg, value()));
-    if (opts.codar.stagnation_threshold < 1) {
-      throw UsageError("--stagnation must be >= 1");
-    }
   } else {
-    return false;
+    // Pass-specific knobs (--no-context, --window, --seed, ...) belong to
+    // whichever registered pass claimed them.
+    return pipeline::RouterRegistry::instance().parse_knob(opts, arg,
+                                                           value) ||
+           pipeline::MappingRegistry::instance().parse_knob(opts, arg,
+                                                            value);
   }
   return true;
 }
@@ -118,6 +57,10 @@ Options parse_args(const std::vector<std::string>& args) {
       opts.help = true;
     } else if (arg == "--list-devices") {
       opts.list_devices = true;
+    } else if (arg == "--list-routers") {
+      opts.list_routers = true;
+    } else if (arg == "--list-mappings") {
+      opts.list_mappings = true;
     } else if (arg == "--batch") {
       opts.batch_dir = value();
     } else if (arg == "--suite") {
@@ -132,7 +75,10 @@ Options parse_args(const std::vector<std::string>& args) {
       opts.inputs.push_back(arg);
     }
   }
-  if (opts.help || opts.list_devices) return opts;
+  if (opts.help || opts.list_devices || opts.list_routers ||
+      opts.list_mappings) {
+    return opts;
+  }
   const int modes = static_cast<int>(!opts.inputs.empty()) +
                     static_cast<int>(!opts.batch_dir.empty()) +
                     static_cast<int>(opts.suite);
@@ -159,6 +105,8 @@ usage:
   codar serve [options]              NDJSON routing service with a route
                                      cache (see codar serve --help)
   codar --list-devices               print every device spec
+  codar --list-routers               print every registered routing pass
+  codar --list-mappings              print every initial-mapping strategy
 
 modes and I/O:
   -o, --output FILE     routed QASM destination (single input only; default
@@ -169,15 +117,18 @@ modes and I/O:
 
 routing:
   -d, --device SPEC     target device (default tokyo); see --list-devices
-  -r, --router NAME     codar | sabre | astar (default codar)
-      --initial NAME    identity | greedy | sabre (default sabre)
+  -r, --router NAME     routing pass (default codar); see --list-routers
+      --initial NAME    initial mapping (default sabre); see --list-mappings
       --seed N          initial-mapping RNG seed (default 17)
       --mapping-rounds N  SABRE reverse-traversal rounds (default 3)
       --peephole        run the peephole cleanup pass before routing
+      --set KEY=VALUE   free-form knob for externally registered passes
+                        (read via RoutingSpec::extra; cache-key relevant)
       --no-verify       skip the routing verifier
-      --timing          add per-route wall time (route_us) to the JSON
-                        stats; off by default so stats stay bit-identical
-                        across runs and thread counts
+      --timing          add per-route and per-stage wall times (route_us,
+                        stage_us) to the JSON stats; off by default so
+                        stats stay bit-identical across runs and thread
+                        counts
 
 CODAR ablation knobs:
       --no-context --no-duration --no-commutativity --no-fine-priority

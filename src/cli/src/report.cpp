@@ -1,73 +1,9 @@
 #include "codar/cli/report.hpp"
 
-#include <chrono>
 #include <cstdio>
 #include <sstream>
-#include <stdexcept>
-
-#include "codar/astar/astar_router.hpp"
-#include "codar/core/codar_router.hpp"
-#include "codar/core/verify.hpp"
-#include "codar/ir/decompose.hpp"
-#include "codar/ir/peephole.hpp"
-#include "codar/layout/initial_mapping.hpp"
-#include "codar/qasm/writer.hpp"
-#include "codar/sabre/sabre_router.hpp"
-#include "codar/schedule/scheduler.hpp"
 
 namespace codar::cli {
-
-namespace {
-
-/// Shrinks a circuit whose declared register is wider than the device down
-/// to its used qubits (QASM files routinely over-declare).
-ir::Circuit fit_register(const ir::Circuit& circuit, int device_qubits) {
-  if (circuit.num_qubits() <= device_qubits) return circuit;
-  const int used = circuit.used_qubit_count();
-  if (used > device_qubits) {
-    throw std::runtime_error("circuit uses " + std::to_string(used) +
-                             " qubits but the device has only " +
-                             std::to_string(device_qubits));
-  }
-  std::vector<ir::Qubit> identity(
-      static_cast<std::size_t>(circuit.num_qubits()));
-  for (std::size_t q = 0; q < identity.size(); ++q) {
-    identity[q] = static_cast<ir::Qubit>(q);
-  }
-  return circuit.remapped(identity, used);
-}
-
-layout::Layout choose_initial(const ir::Circuit& circuit,
-                              const arch::Device& device,
-                              const Options& opts) {
-  switch (opts.mapping) {
-    case MappingKind::kIdentity:
-      return layout::Layout(circuit.num_qubits(), device.graph.num_qubits());
-    case MappingKind::kGreedy:
-      return layout::greedy_interaction_layout(circuit, device.graph);
-    case MappingKind::kSabre:
-      return sabre::SabreRouter(device).initial_mapping(
-          circuit, opts.mapping_rounds, opts.seed);
-  }
-  throw std::logic_error("unreachable mapping kind");
-}
-
-core::RoutingResult dispatch_route(const ir::Circuit& circuit,
-                                   const layout::Layout& initial,
-                                   const arch::Device& device,
-                                   const Options& opts) {
-  switch (opts.router) {
-    case RouterKind::kCodar:
-      return core::CodarRouter(device, opts.codar).route(circuit, initial);
-    case RouterKind::kSabre:
-      return sabre::SabreRouter(device).route(circuit, initial);
-    case RouterKind::kAstar:
-      return astar::AstarRouter(device).route(circuit, initial);
-  }
-  throw std::logic_error("unreachable router kind");
-}
-
-}  // namespace
 
 void append_json_string(std::ostream& out, std::string_view s) {
   out << '"';
@@ -95,53 +31,16 @@ void append_json_string(std::ostream& out, std::string_view s) {
 RouteReport route_circuit(const ir::Circuit& circuit,
                           const arch::Device& device, const Options& opts,
                           bool keep_qasm) {
-  RouteReport report;
-  report.name = circuit.name();
   try {
-    ir::Circuit lowered =
-        fit_register(ir::decompose_toffoli(circuit),
-                     device.graph.num_qubits());
-    if (opts.peephole) lowered = ir::peephole_optimize(lowered);
-    report.qubits = lowered.used_qubit_count();
-    report.gates_in = lowered.size();
-    report.depth_in = schedule::weighted_depth(lowered, device.durations);
-
-    const layout::Layout initial = choose_initial(lowered, device, opts);
-    const auto route_start = std::chrono::steady_clock::now();
-    const core::RoutingResult result =
-        dispatch_route(lowered, initial, device, opts);
-    report.route_us = static_cast<std::size_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - route_start)
-            .count());
-
-    report.gates_out = result.circuit.size();
-    report.gates_routed = result.stats.gates_routed;
-    report.barriers = result.stats.barriers;
-    report.swaps = result.stats.swaps_inserted;
-    report.forced_swaps = result.stats.forced_swaps;
-    report.escape_swaps = result.stats.escape_swaps;
-    report.cycles = result.stats.cycles_simulated;
-    report.makespan = result.stats.router_makespan;
-    report.depth_out =
-        schedule::weighted_depth(result.circuit, device.durations);
-
-    if (opts.verify) {
-      const core::VerifyOutcome outcome =
-          core::verify_routing(lowered, result, device.graph);
-      report.verified = outcome.valid;
-      if (!outcome.valid) {
-        report.error = "verification failed: " + outcome.reason;
-        return report;
-      }
-    } else {
-      report.verify_skipped = true;
-    }
-    if (keep_qasm) report.routed_qasm = qasm::to_qasm(result.circuit);
+    return pipeline::Pipeline(device, opts).run(circuit, keep_qasm);
   } catch (const std::exception& e) {
+    // Pipeline construction failed (unknown router/mapping name): report
+    // it the same way a routing failure is reported.
+    RouteReport report;
+    report.name = circuit.name();
     report.error = e.what();
+    return report;
   }
-  return report;
 }
 
 std::string to_json(const RouteReport& r, const Options& opts) {
@@ -151,9 +50,9 @@ std::string to_json(const RouteReport& r, const Options& opts) {
   out << ", \"device\": ";
   append_json_string(out, opts.device);
   out << ", \"router\": ";
-  append_json_string(out, to_string(opts.router));
+  append_json_string(out, opts.router);
   out << ", \"initial\": ";
-  append_json_string(out, to_string(opts.mapping));
+  append_json_string(out, opts.mapping);
   if (!r.error.empty()) {
     out << ", \"error\": ";
     append_json_string(out, r.error);
@@ -165,9 +64,17 @@ std::string to_json(const RouteReport& r, const Options& opts) {
       << ", \"forced_swaps\": " << r.forced_swaps
       << ", \"escape_swaps\": " << r.escape_swaps
       << ", \"cycles\": " << r.cycles << ", \"makespan\": " << r.makespan;
-  // Wall time is the one nondeterministic stat: opt-in so default output
+  // Wall times are the one nondeterministic stat: opt-in so default output
   // stays bit-identical across runs and thread counts.
-  if (opts.timing) out << ", \"route_us\": " << r.route_us;
+  if (opts.timing) {
+    out << ", \"route_us\": " << r.route_us << ", \"stage_us\": {";
+    for (std::size_t i = 0; i < r.stage_us.size(); ++i) {
+      if (i > 0) out << ", ";
+      append_json_string(out, r.stage_us[i].stage);
+      out << ": " << r.stage_us[i].us;
+    }
+    out << "}";
+  }
   out
       << ", \"weighted_depth_in\": " << r.depth_in
       << ", \"weighted_depth_out\": " << r.depth_out << ", \"verified\": "

@@ -1,0 +1,156 @@
+// The three built-in routing passes as RoutingPass adapters: CODAR
+// (src/core), SABRE (src/sabre) and the layered A* baseline (src/astar).
+// Each registers itself with a name, a one-line description and — where
+// it has CLI-visible knobs — a flag-parsing hook, so the CLI/serve layers
+// never name these classes.
+
+#include <memory>
+#include <sstream>
+
+#include "builtins.hpp"
+#include "codar/astar/astar_router.hpp"
+#include "codar/core/codar_router.hpp"
+#include "codar/sabre/sabre_router.hpp"
+
+namespace codar::pipeline {
+
+namespace {
+
+const char* on_off(bool b) { return b ? "on" : "off"; }
+
+class CodarPass final : public RoutingPass {
+ public:
+  CodarPass(const arch::Device& device, const RoutingSpec& spec)
+      : router_(device, spec.codar) {}
+
+  std::string_view name() const override { return "codar"; }
+
+  core::RoutingResult route(const ir::Circuit& circuit,
+                            const layout::Layout& initial) const override {
+    return router_.route(circuit, initial);
+  }
+
+  std::string describe_config() const override {
+    const core::CodarConfig& c = router_.config();
+    std::ostringstream out;
+    out << "context=" << on_off(c.context_aware)
+        << " duration=" << on_off(c.duration_aware)
+        << " commutativity=" << on_off(c.commutativity_aware)
+        << " fine-priority=" << on_off(c.fine_priority)
+        << " window=" << c.front_window
+        << " stagnation=" << c.stagnation_threshold;
+    return out.str();
+  }
+
+ private:
+  core::CodarRouter router_;
+};
+
+class SabrePass final : public RoutingPass {
+ public:
+  SabrePass(const arch::Device& device, const RoutingSpec&)
+      : router_(device) {}
+
+  std::string_view name() const override { return "sabre"; }
+
+  core::RoutingResult route(const ir::Circuit& circuit,
+                            const layout::Layout& initial) const override {
+    return router_.route(circuit, initial);
+  }
+
+  std::string describe_config() const override {
+    const sabre::SabreConfig& c = router_.config();
+    std::ostringstream out;
+    out << "extended-weight=" << c.extended_weight
+        << " extended-set=" << c.extended_set_size
+        << " decay-delta=" << c.decay_delta
+        << " decay-reset=" << c.decay_reset_interval
+        << " stagnation=" << c.stagnation_threshold;
+    return out.str();
+  }
+
+ private:
+  sabre::SabreRouter router_;
+};
+
+class AstarPass final : public RoutingPass {
+ public:
+  AstarPass(const arch::Device& device, const RoutingSpec&)
+      : router_(device) {}
+
+  std::string_view name() const override { return "astar"; }
+
+  core::RoutingResult route(const ir::Circuit& circuit,
+                            const layout::Layout& initial) const override {
+    return router_.route(circuit, initial);
+  }
+
+  std::string describe_config() const override {
+    const astar::AstarConfig& c = router_.config();
+    std::ostringstream out;
+    out << "max-expansions=" << c.max_expansions
+        << " heuristic-weight=" << c.heuristic_weight;
+    return out.str();
+  }
+
+ private:
+  astar::AstarRouter router_;
+};
+
+/// The CODAR ablation knobs (previously inlined in parse_routing_flag).
+bool parse_codar_flag(RoutingSpec& spec, const std::string& flag,
+                      const FlagValue& value) {
+  if (flag == "--no-context") {
+    spec.codar.context_aware = false;
+  } else if (flag == "--no-duration") {
+    spec.codar.duration_aware = false;
+  } else if (flag == "--no-commutativity") {
+    spec.codar.commutativity_aware = false;
+  } else if (flag == "--no-fine-priority") {
+    spec.codar.fine_priority = false;
+  } else if (flag == "--window") {
+    spec.codar.front_window = static_cast<int>(knob_int(flag, value()));
+  } else if (flag == "--stagnation") {
+    spec.codar.stagnation_threshold =
+        static_cast<int>(knob_int(flag, value()));
+    if (spec.codar.stagnation_threshold < 1) {
+      throw UsageError("--stagnation must be >= 1");
+    }
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+namespace detail {
+
+void register_builtin_routers(RouterRegistry& registry) {
+  registry.add(
+      {"codar",
+       "contextual duration-aware remapper (the paper's router, DAC 2020)",
+       [](const arch::Device& d, const RoutingSpec& s) {
+         return std::unique_ptr<RoutingPass>(new CodarPass(d, s));
+       },
+       parse_codar_flag});
+  registry.add(
+      {"sabre",
+       "SWAP-based bidirectional heuristic baseline (ASPLOS 2019), "
+       "duration-blind",
+       [](const arch::Device& d, const RoutingSpec& s) {
+         return std::unique_ptr<RoutingPass>(new SabrePass(d, s));
+       },
+       nullptr});
+  registry.add(
+      {"astar",
+       "layered A*-search baseline (TCAD 2019), duration-blind",
+       [](const arch::Device& d, const RoutingSpec& s) {
+         return std::unique_ptr<RoutingPass>(new AstarPass(d, s));
+       },
+       nullptr});
+}
+
+}  // namespace detail
+
+}  // namespace codar::pipeline

@@ -1,0 +1,17 @@
+#pragma once
+
+// Internal wiring between the registry singletons and the built-in pass
+// adapters. Each builtin_*.cpp file registers its own passes through one
+// of these hooks; RouterRegistry/MappingRegistry::instance() calls them
+// exactly once. Keeping the calls explicit (instead of file-scope
+// registrar statics) makes registration order deterministic and immune to
+// static-library dead-stripping.
+
+#include "codar/pipeline/registry.hpp"
+
+namespace codar::pipeline::detail {
+
+void register_builtin_routers(RouterRegistry& registry);
+void register_builtin_mappings(MappingRegistry& registry);
+
+}  // namespace codar::pipeline::detail

@@ -1,0 +1,126 @@
+#include "codar/pipeline/pipeline.hpp"
+
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "codar/core/verify.hpp"
+#include "codar/ir/decompose.hpp"
+#include "codar/ir/peephole.hpp"
+#include "codar/qasm/writer.hpp"
+#include "codar/schedule/scheduler.hpp"
+
+namespace codar::pipeline {
+
+namespace {
+
+/// Shrinks a circuit whose declared register is wider than the device down
+/// to its used qubits (QASM files routinely over-declare).
+ir::Circuit fit_register(const ir::Circuit& circuit, int device_qubits) {
+  if (circuit.num_qubits() <= device_qubits) return circuit;
+  const int used = circuit.used_qubit_count();
+  if (used > device_qubits) {
+    throw std::runtime_error("circuit uses " + std::to_string(used) +
+                             " qubits but the device has only " +
+                             std::to_string(device_qubits));
+  }
+  std::vector<ir::Qubit> identity(
+      static_cast<std::size_t>(circuit.num_qubits()));
+  for (std::size_t q = 0; q < identity.size(); ++q) {
+    identity[q] = static_cast<ir::Qubit>(q);
+  }
+  return circuit.remapped(identity, used);
+}
+
+/// Runs one named stage, recording its wall time on the report.
+template <typename Fn>
+void timed_stage(RouteReport& report, const char* stage, Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  report.stage_us.push_back(
+      {stage, static_cast<std::size_t>(
+                  std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count())});
+}
+
+}  // namespace
+
+Pipeline::Pipeline(const arch::Device& device, const RoutingSpec& spec)
+    : device_(&device),
+      spec_(spec),
+      router_(RouterRegistry::instance().at(spec.router).make(device, spec)),
+      mapping_(MappingRegistry::instance().at(spec.mapping).make(spec)) {}
+
+RouteReport Pipeline::run(const ir::Circuit& circuit, bool keep_qasm) const {
+  RouteReport report;
+  report.name = circuit.name();
+  try {
+    // Stage "lower": Toffoli decomposition plus register fitting, so every
+    // downstream stage sees a <=2-qubit circuit that fits the device.
+    ir::Circuit lowered(0);
+    timed_stage(report, "lower", [&] {
+      lowered = fit_register(ir::decompose_toffoli(circuit),
+                             device_->graph.num_qubits());
+    });
+    if (spec_.peephole) {
+      timed_stage(report, "peephole",
+                  [&] { lowered = ir::peephole_optimize(lowered); });
+    }
+    report.qubits = lowered.used_qubit_count();
+    report.gates_in = lowered.size();
+    report.depth_in = schedule::weighted_depth(lowered, device_->durations);
+
+    // Stage "initial": the mapping pass chooses π.
+    std::optional<layout::Layout> initial;
+    timed_stage(report, "initial",
+                [&] { initial = mapping_->choose(lowered, *device_); });
+
+    // Stage "route": exactly the routing pass — route_us keeps its
+    // historical meaning of pure route() wall time.
+    std::optional<core::RoutingResult> result;
+    timed_stage(report, "route",
+                [&] { result = router_->route(lowered, *initial); });
+    report.route_us = report.stage_us.back().us;
+
+    // Stage "report": fold the router's stats into the report. Runs before
+    // verification so a failed verify still reports what was produced.
+    timed_stage(report, "report", [&] {
+      report.gates_out = result->circuit.size();
+      report.gates_routed = result->stats.gates_routed;
+      report.barriers = result->stats.barriers;
+      report.swaps = result->stats.swaps_inserted;
+      report.forced_swaps = result->stats.forced_swaps;
+      report.escape_swaps = result->stats.escape_swaps;
+      report.cycles = result->stats.cycles_simulated;
+      report.makespan = result->stats.router_makespan;
+      report.depth_out =
+          schedule::weighted_depth(result->circuit, device_->durations);
+    });
+
+    if (spec_.verify) {
+      core::VerifyOutcome outcome;
+      timed_stage(report, "verify", [&] {
+        outcome = core::verify_routing(lowered, *result, device_->graph);
+      });
+      report.verified = outcome.valid;
+      if (!outcome.valid) {
+        report.error = "verification failed: " + outcome.reason;
+        return report;
+      }
+    } else {
+      report.verify_skipped = true;
+    }
+
+    if (keep_qasm) {
+      timed_stage(report, "render",
+                  [&] { report.routed_qasm = qasm::to_qasm(result->circuit); });
+    }
+  } catch (const std::exception& e) {
+    report.error = e.what();
+  }
+  return report;
+}
+
+}  // namespace codar::pipeline

@@ -1,0 +1,39 @@
+#include "codar/pipeline/registry.hpp"
+
+#include <charconv>
+
+#include "builtins.hpp"
+
+namespace codar::pipeline {
+
+RouterRegistry& RouterRegistry::instance() {
+  // Magic static: built (and the builtins registered) exactly once, in a
+  // thread-safe way, on first use.
+  static RouterRegistry& reg = *[] {
+    auto* r = new RouterRegistry();
+    detail::register_builtin_routers(*r);
+    return r;
+  }();
+  return reg;
+}
+
+MappingRegistry& MappingRegistry::instance() {
+  static MappingRegistry& reg = *[] {
+    auto* r = new MappingRegistry();
+    detail::register_builtin_mappings(*r);
+    return r;
+  }();
+  return reg;
+}
+
+long long knob_int(const std::string& flag, const std::string& value) {
+  long long result = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), result);
+  if (ec != std::errc() || ptr != value.data() + value.size()) {
+    throw UsageError(flag + " expects an integer, got '" + value + "'");
+  }
+  return result;
+}
+
+}  // namespace codar::pipeline

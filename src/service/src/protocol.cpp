@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "codar/common/fnv.hpp"
+#include "codar/pipeline/registry.hpp"
 #include "codar/service/json.hpp"
 
 namespace codar::service {
@@ -30,22 +31,26 @@ long long require_int(const Json& v, const char* key) {
   return static_cast<long long>(d);
 }
 
+/// Resolves a router/mapping name against its registry, rewrapping the
+/// registry's UsageError (which lists the registered names) as a
+/// ProtocolError.
+template <typename Registry>
+const std::string& registered_name(const Registry& registry,
+                                   const std::string& name) {
+  try {
+    return registry.at(name).name;
+  } catch (const pipeline::UsageError& e) {
+    throw ProtocolError(e.what());
+  }
+}
+
 /// Applies one member of the request's "options" object. Mirrors the CLI
 /// flags one-to-one (see parse_routing_flag); key names use underscores.
 void apply_option(cli::Options& opts, const std::string& key,
                   const Json& v) {
   if (key == "initial") {
-    const std::string& name = require_string(v, "initial");
-    if (name == "identity") {
-      opts.mapping = cli::MappingKind::kIdentity;
-    } else if (name == "greedy") {
-      opts.mapping = cli::MappingKind::kGreedy;
-    } else if (name == "sabre") {
-      opts.mapping = cli::MappingKind::kSabre;
-    } else {
-      bad("unknown initial mapping '" + name +
-          "' (expected identity|greedy|sabre)");
-    }
+    opts.mapping = registered_name(pipeline::MappingRegistry::instance(),
+                                   require_string(v, "initial"));
   } else if (key == "seed") {
     opts.seed = static_cast<std::uint64_t>(require_int(v, "seed"));
   } else if (key == "mapping_rounds") {
@@ -72,6 +77,17 @@ void apply_option(cli::Options& opts, const std::string& key,
     const long long n = require_int(v, "stagnation");
     if (n < 1) bad("'stagnation' must be >= 1");
     opts.codar.stagnation_threshold = static_cast<int>(n);
+  } else if (key == "extras") {
+    // Free-form knobs for externally registered passes, mirroring the
+    // CLI's --set KEY=VALUE (see RoutingSpec::extras). String values
+    // only, so the fingerprinted representation is unambiguous. The
+    // request's object *replaces* the serve-line defaults wholesale —
+    // per-key merging would leave no way to unset a default knob.
+    if (!v.is_object()) bad("'extras' must be an object");
+    opts.extras.clear();
+    for (const auto& [k, member] : v.members()) {
+      opts.set_extra(k, require_string(member, "extras value"));
+    }
   } else {
     bad("unknown option '" + key + "'");
   }
@@ -148,16 +164,8 @@ ServeRequest parse_request(const std::string& line,
     req.opts.device = require_string(*device, "device");
   }
   if (const Json* router = doc.find("router")) {
-    const std::string& name = require_string(*router, "router");
-    if (name == "codar") {
-      req.opts.router = cli::RouterKind::kCodar;
-    } else if (name == "sabre") {
-      req.opts.router = cli::RouterKind::kSabre;
-    } else if (name == "astar") {
-      req.opts.router = cli::RouterKind::kAstar;
-    } else {
-      bad("unknown router '" + name + "' (expected codar|sabre|astar)");
-    }
+    req.opts.router = registered_name(pipeline::RouterRegistry::instance(),
+                                      require_string(*router, "router"));
   }
   if (const Json* options = doc.find("options")) {
     if (!options->is_object()) bad("'options' must be an object");
@@ -170,9 +178,9 @@ ServeRequest parse_request(const std::string& line,
 
 std::uint64_t options_fingerprint(const cli::Options& opts) {
   common::Fnv1a h;
-  h.u64(1);  // fingerprint schema version
-  h.byte(static_cast<std::uint8_t>(opts.router));
-  h.byte(static_cast<std::uint8_t>(opts.mapping));
+  h.u64(2);  // fingerprint schema version (2: registry names, not enums)
+  h.str(opts.router);
+  h.str(opts.mapping);
   h.u64(opts.seed);
   h.i64(opts.mapping_rounds);
   h.byte(opts.peephole ? 1 : 0);
@@ -183,6 +191,13 @@ std::uint64_t options_fingerprint(const cli::Options& opts) {
   h.byte(opts.codar.fine_priority ? 1 : 0);
   h.i64(opts.codar.front_window);
   h.i64(opts.codar.stagnation_threshold);
+  // extras is kept sorted by set_extra, so this is canonical; str() is
+  // length-prefixed, so keys and values cannot alias.
+  h.u64(opts.extras.size());
+  for (const auto& [key, value] : opts.extras) {
+    h.str(key);
+    h.str(value);
+  }
   return h.value();
 }
 

@@ -30,8 +30,13 @@ const RouteCache::Shard& RouteCache::shard_for(const CacheKey& key) const {
 }
 
 std::size_t RouteCache::report_bytes(const cli::RouteReport& report) {
-  return sizeof(cli::RouteReport) + report.name.capacity() +
-         report.error.capacity() + report.routed_qasm.capacity();
+  std::size_t bytes = sizeof(cli::RouteReport) + report.name.capacity() +
+                      report.error.capacity() + report.routed_qasm.capacity();
+  bytes += report.stage_us.capacity() * sizeof(pipeline::StageTiming);
+  for (const pipeline::StageTiming& t : report.stage_us) {
+    bytes += t.stage.capacity();
+  }
+  return bytes;
 }
 
 void RouteCache::insert_locked(Shard& shard, const CacheKey& key,

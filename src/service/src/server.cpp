@@ -343,7 +343,7 @@ request defaults (overridable per request; same meaning as in batch mode):
   -d, --device SPEC  -r, --router NAME  --initial NAME  --seed N
       --mapping-rounds N  --peephole  --no-verify  --timing
       --no-context --no-duration --no-commutativity --no-fine-priority
-      --window N --stagnation N
+      --window N --stagnation N --set KEY=VALUE
 )";
 }
 

@@ -41,8 +41,8 @@ TEST(CliOptions, ParsesFlagsAndPositionals) {
       {"--device", "grid:3x3", "--router", "astar", "--initial", "greedy",
        "--threads", "4", "--no-duration", "--window", "25", "a.qasm"});
   EXPECT_EQ(opts.device, "grid:3x3");
-  EXPECT_EQ(opts.router, RouterKind::kAstar);
-  EXPECT_EQ(opts.mapping, MappingKind::kGreedy);
+  EXPECT_EQ(opts.router, "astar");
+  EXPECT_EQ(opts.mapping, "greedy");
   EXPECT_EQ(opts.threads, 4);
   EXPECT_FALSE(opts.codar.duration_aware);
   EXPECT_TRUE(opts.codar.context_aware);
@@ -59,6 +59,55 @@ TEST(CliOptions, RejectsBadInput) {
   EXPECT_THROW(parse_args({"--wat", "a.qasm"}), UsageError);
   EXPECT_THROW(parse_args({"a.qasm", "--suite"}), UsageError);  // two modes
   EXPECT_THROW(parse_args({"-o", "x", "a.qasm", "b.qasm"}), UsageError);
+}
+
+TEST(CliOptions, SetFlagFillsExtras) {
+  const Options opts =
+      parse_args({"--set", "beam=8", "--set", "alpha=0.5", "a.qasm"});
+  ASSERT_NE(opts.extra("beam"), nullptr);
+  EXPECT_EQ(*opts.extra("beam"), "8");
+  ASSERT_NE(opts.extra("alpha"), nullptr);
+  EXPECT_EQ(*opts.extra("alpha"), "0.5");
+  EXPECT_THROW(parse_args({"--set", "beam8", "a.qasm"}), UsageError);
+  EXPECT_THROW(parse_args({"--set", "=8", "a.qasm"}), UsageError);
+}
+
+TEST(CliOptions, UnknownRouterAndMappingListRegisteredNames) {
+  // The error messages come from the registries, so a newly registered
+  // pass appears in them without a CLI edit.
+  try {
+    parse_args({"--router", "qiskit", "a.qasm"});
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    EXPECT_EQ(std::string(e.what()),
+              "unknown router 'qiskit' (expected codar|sabre|astar)");
+  }
+  try {
+    parse_args({"--initial", "wat", "a.qasm"});
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    EXPECT_EQ(std::string(e.what()),
+              "unknown initial mapping 'wat' "
+              "(expected identity|greedy|sabre)");
+  }
+}
+
+TEST(CliOptions, ListRoutersAndMappingsFlags) {
+  EXPECT_TRUE(parse_args({"--list-routers"}).list_routers);
+  EXPECT_TRUE(parse_args({"--list-mappings"}).list_mappings);
+
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(run_cli({"--list-routers"}, out, err), 0) << err.str();
+  for (const char* name : {"codar", "sabre", "astar"}) {
+    EXPECT_NE(out.str().find(name), std::string::npos) << out.str();
+  }
+
+  std::ostringstream out2;
+  EXPECT_EQ(run_cli({"--list-mappings"}, out2, err), 0) << err.str();
+  for (const char* name : {"identity", "greedy", "sabre"}) {
+    EXPECT_NE(out2.str().find(name), std::string::npos) << out2.str();
+  }
 }
 
 // -- Device registry --------------------------------------------------------
@@ -117,14 +166,13 @@ TEST(CliDriver, RoutedOutputParsesAndVerifies) {
 TEST(CliDriver, AllThreeRoutersVerify) {
   const arch::Device device = make_device("q16");
   const ir::Circuit circuit = workloads::qft(6);
-  for (const RouterKind router :
-       {RouterKind::kCodar, RouterKind::kSabre, RouterKind::kAstar}) {
+  for (const std::string router : {"codar", "sabre", "astar"}) {
     Options opts;
     opts.router = router;
     const RouteReport report =
         route_circuit(circuit, device, opts, /*keep_qasm=*/false);
-    EXPECT_TRUE(report.ok()) << to_string(router) << ": " << report.error;
-    EXPECT_TRUE(report.verified) << to_string(router);
+    EXPECT_TRUE(report.ok()) << router << ": " << report.error;
+    EXPECT_TRUE(report.verified) << router;
   }
 }
 

@@ -1,0 +1,137 @@
+// Tests for the string-keyed pass registries: the built-in entries, the
+// lookup error contract (unknown names list the registered ones), the
+// knob-parsing hooks that replaced parse_routing_flag's per-pass plumbing,
+// and registration validation.
+
+#include <gtest/gtest.h>
+
+#include "codar/arch/device.hpp"
+#include "codar/pipeline/registry.hpp"
+
+namespace codar::pipeline {
+namespace {
+
+TEST(RouterRegistry, BuiltinsAreRegisteredInOrder) {
+  const RouterRegistry& reg = RouterRegistry::instance();
+  ASSERT_GE(reg.entries().size(), 3u);
+  EXPECT_EQ(reg.entries()[0].name, "codar");
+  EXPECT_EQ(reg.entries()[1].name, "sabre");
+  EXPECT_EQ(reg.entries()[2].name, "astar");
+  for (const RouterEntry& e : reg.entries()) {
+    EXPECT_FALSE(e.description.empty()) << e.name;
+    EXPECT_TRUE(static_cast<bool>(e.make)) << e.name;
+  }
+  EXPECT_EQ(reg.names(), "codar|sabre|astar");
+}
+
+TEST(MappingRegistry, BuiltinsAreRegisteredInOrder) {
+  const MappingRegistry& reg = MappingRegistry::instance();
+  ASSERT_GE(reg.entries().size(), 3u);
+  EXPECT_EQ(reg.entries()[0].name, "identity");
+  EXPECT_EQ(reg.entries()[1].name, "greedy");
+  EXPECT_EQ(reg.entries()[2].name, "sabre");
+  EXPECT_EQ(reg.names(), "identity|greedy|sabre");
+}
+
+TEST(PassRegistry, UnknownNamesListRegisteredOnes) {
+  EXPECT_EQ(RouterRegistry::instance().find("qiskit"), nullptr);
+  try {
+    RouterRegistry::instance().at("qiskit");
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    EXPECT_EQ(std::string(e.what()),
+              "unknown router 'qiskit' (expected codar|sabre|astar)");
+  }
+  try {
+    MappingRegistry::instance().at("annealed");
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    EXPECT_EQ(std::string(e.what()),
+              "unknown initial mapping 'annealed' "
+              "(expected identity|greedy|sabre)");
+  }
+}
+
+TEST(PassRegistry, RejectsDuplicateAndIncompleteEntries) {
+  RouterRegistry local;  // fresh registry, no builtins
+  RouterEntry entry{"mine", "a test router",
+                    [](const arch::Device&, const RoutingSpec&) {
+                      return std::unique_ptr<RoutingPass>();
+                    },
+                    nullptr};
+  local.add(entry);
+  EXPECT_THROW(local.add(entry), std::logic_error);  // duplicate name
+  RouterEntry nameless = entry;
+  nameless.name.clear();
+  EXPECT_THROW(local.add(nameless), std::logic_error);
+  RouterEntry factoryless = entry;
+  factoryless.name = "other";
+  factoryless.make = nullptr;
+  EXPECT_THROW(local.add(factoryless), std::logic_error);
+}
+
+TEST(PassRegistry, RouterKnobHooksParseCodarFlags) {
+  RoutingSpec spec;
+  const RouterRegistry& reg = RouterRegistry::instance();
+  auto no_value = []() -> std::string {
+    throw UsageError("flag expects a value");
+  };
+  EXPECT_TRUE(reg.parse_knob(spec, "--no-context", no_value));
+  EXPECT_FALSE(spec.codar.context_aware);
+  EXPECT_TRUE(reg.parse_knob(spec, "--window", [] { return "25"; }));
+  EXPECT_EQ(spec.codar.front_window, 25);
+  EXPECT_TRUE(reg.parse_knob(spec, "--stagnation", [] { return "7"; }));
+  EXPECT_EQ(spec.codar.stagnation_threshold, 7);
+  // Malformed / out-of-range values throw the shared UsageError.
+  EXPECT_THROW(reg.parse_knob(spec, "--window", [] { return "wide"; }),
+               UsageError);
+  EXPECT_THROW(reg.parse_knob(spec, "--stagnation", [] { return "0"; }),
+               UsageError);
+  // Flags no pass owns are left for the caller.
+  EXPECT_FALSE(reg.parse_knob(spec, "--batch", no_value));
+}
+
+TEST(PassRegistry, MappingKnobHooksParseSeedAndRounds) {
+  RoutingSpec spec;
+  const MappingRegistry& reg = MappingRegistry::instance();
+  EXPECT_TRUE(reg.parse_knob(spec, "--seed", [] { return "99"; }));
+  EXPECT_EQ(spec.seed, 99u);
+  EXPECT_TRUE(reg.parse_knob(spec, "--mapping-rounds", [] { return "5"; }));
+  EXPECT_EQ(spec.mapping_rounds, 5);
+  EXPECT_THROW(
+      reg.parse_knob(spec, "--mapping-rounds", [] { return "-1"; }),
+      UsageError);
+}
+
+TEST(RoutingSpec, ExtrasAreSortedAndReplaceable) {
+  RoutingSpec spec;
+  EXPECT_EQ(spec.extra("beam"), nullptr);
+  spec.set_extra("beam", "8");
+  spec.set_extra("alpha", "0.5");
+  spec.set_extra("beam", "16");  // replace, not duplicate
+  ASSERT_EQ(spec.extras.size(), 2u);
+  EXPECT_EQ(spec.extras[0].first, "alpha");  // sorted for fingerprinting
+  EXPECT_EQ(spec.extras[1].first, "beam");
+  ASSERT_NE(spec.extra("beam"), nullptr);
+  EXPECT_EQ(*spec.extra("beam"), "16");
+}
+
+TEST(PassRegistry, FactoriesBuildPassesThatKnowTheirNames) {
+  const arch::Device device = arch::ibm_q20_tokyo();
+  RoutingSpec spec;
+  for (const RouterEntry& e : RouterRegistry::instance().entries()) {
+    const std::unique_ptr<RoutingPass> pass = e.make(device, spec);
+    ASSERT_NE(pass, nullptr) << e.name;
+    EXPECT_EQ(pass->name(), e.name);
+    EXPECT_FALSE(pass->describe_config().empty()) << e.name;
+  }
+  for (const MappingEntry& e : MappingRegistry::instance().entries()) {
+    const std::unique_ptr<MappingPass> pass = e.make(spec);
+    ASSERT_NE(pass, nullptr) << e.name;
+    EXPECT_EQ(pass->name(), e.name);
+    EXPECT_FALSE(pass->describe_config().empty()) << e.name;
+  }
+}
+
+}  // namespace
+}  // namespace codar::pipeline

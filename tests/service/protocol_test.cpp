@@ -91,6 +91,36 @@ TEST(ParseRequest, MinimalSuiteRequest) {
   EXPECT_EQ(req.opts.device, "tokyo");  // inherited default
 }
 
+TEST(ParseRequest, ExtrasOptionFillsSpecExtras) {
+  const ServeRequest req = parse_request(
+      R"({"id": 1, "suite_name": "ghz_3",
+          "options": {"extras": {"beam": "8", "alpha": "0.5"}}})",
+      defaults());
+  ASSERT_NE(req.opts.extra("beam"), nullptr);
+  EXPECT_EQ(*req.opts.extra("beam"), "8");
+  ASSERT_NE(req.opts.extra("alpha"), nullptr);
+  EXPECT_EQ(*req.opts.extra("alpha"), "0.5");
+  // A request's extras object replaces the serve-line defaults wholesale,
+  // so a client can unset a default knob by omitting it.
+  cli::Options seeded = defaults();
+  seeded.set_extra("beam", "8");
+  const ServeRequest cleared = parse_request(
+      R"({"suite_name": "ghz_3", "options": {"extras": {}}})", seeded);
+  EXPECT_TRUE(cleared.opts.extras.empty());
+  const ServeRequest inherited =
+      parse_request(R"({"suite_name": "ghz_3"})", seeded);
+  ASSERT_NE(inherited.opts.extra("beam"), nullptr);
+  // Strictly strings, strictly an object.
+  EXPECT_THROW(parse_request(R"({"suite_name": "ghz_3",
+                                 "options": {"extras": {"beam": 8}}})",
+                             defaults()),
+               ProtocolError);
+  EXPECT_THROW(parse_request(R"({"suite_name": "ghz_3",
+                                 "options": {"extras": "beam=8"}})",
+                             defaults()),
+               ProtocolError);
+}
+
 TEST(ParseRequest, FullRouteRequest) {
   const ServeRequest req = parse_request(
       R"({"id": "abc", "qasm": "OPENQASM 2.0;", "device": "linear:5",
@@ -102,8 +132,8 @@ TEST(ParseRequest, FullRouteRequest) {
   EXPECT_EQ(req.qasm, "OPENQASM 2.0;");
   EXPECT_EQ(req.name, "mine");
   EXPECT_EQ(req.opts.device, "linear:5");
-  EXPECT_EQ(req.opts.router, cli::RouterKind::kSabre);
-  EXPECT_EQ(req.opts.mapping, cli::MappingKind::kGreedy);
+  EXPECT_EQ(req.opts.router, "sabre");
+  EXPECT_EQ(req.opts.mapping, "greedy");
   EXPECT_EQ(req.opts.seed, 3u);
   EXPECT_FALSE(req.opts.verify);
   EXPECT_EQ(req.opts.codar.front_window, 42);

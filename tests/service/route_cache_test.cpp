@@ -85,14 +85,17 @@ TEST(RouteCache, RealFingerprintsGiveDistinctKeys) {
   // different option sets produce different key components.
   cli::Options base;
   cli::Options sabre = base;
-  sabre.router = cli::RouterKind::kSabre;
+  sabre.router = "sabre";
   cli::Options no_context = base;
   no_context.codar.context_aware = false;
   cli::Options reseeded = base;
   reseeded.seed = base.seed + 1;
+  cli::Options with_extra = base;
+  with_extra.set_extra("beam", "8");
   EXPECT_NE(options_fingerprint(base), options_fingerprint(sabre));
   EXPECT_NE(options_fingerprint(base), options_fingerprint(no_context));
   EXPECT_NE(options_fingerprint(base), options_fingerprint(reseeded));
+  EXPECT_NE(options_fingerprint(base), options_fingerprint(with_extra));
 
   EXPECT_NE(arch::ibm_q20_tokyo().fingerprint(),
             arch::enfield_6x6().fingerprint());
