@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Validates the shipped JSON device descriptions (examples/devices/*.json):
+#
+#   1. every file loads through the codar CLI (`--device file:...`),
+#   2. its content fingerprint is deterministic (two independent processes
+#      render byte-identical --describe-device output),
+#   3. the uncalibrated preset clones fingerprint identically to their
+#      built-in presets (so the files can never drift from the code),
+#   4. a calibrated file actually reports calibrated: true and routes a
+#      small circuit end-to-end with verification on.
+#
+# Usage: scripts/check_device_files.sh [path-to-codar-binary]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+CODAR="${1:-./build/codar}"
+
+if [ ! -x "$CODAR" ]; then
+  echo "error: codar binary not found at $CODAR (build first)" >&2
+  exit 2
+fi
+
+fail=0
+
+describe() {
+  "$CODAR" --describe-device "$1"
+}
+
+shopt -s nullglob
+files=(examples/devices/*.json)
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "error: no device files under examples/devices/" >&2
+  exit 2
+fi
+
+for f in "${files[@]}"; do
+  a=$(describe "file:$f")
+  b=$(describe "file:$f")
+  if [ "$a" != "$b" ]; then
+    echo "FAIL: $f fingerprints nondeterministically:" >&2
+    echo "  $a" >&2
+    echo "  $b" >&2
+    fail=1
+  else
+    echo "ok: $f  $a"
+  fi
+done
+
+# The preset clones must fingerprint identically to the built-in presets.
+declare -A preset_of=(
+  [examples/devices/q16.json]=q16
+  [examples/devices/enfield_6x6.json]=enfield
+  [examples/devices/tokyo.json]=tokyo
+  [examples/devices/sycamore54.json]=sycamore
+)
+fp() { describe "$1" | sed 's/.*"fingerprint": "\([^"]*\)".*/\1/'; }
+for f in "${!preset_of[@]}"; do
+  preset="${preset_of[$f]}"
+  if [ "$(fp "file:$f")" != "$(fp "$preset")" ]; then
+    echo "FAIL: $f drifted from the built-in '$preset' preset" >&2
+    echo "  file:   $(describe "file:$f")" >&2
+    echo "  preset: $(describe "$preset")" >&2
+    fail=1
+  fi
+done
+
+# The calibrated example must carry calibration and route end-to-end.
+calibrated=examples/devices/tokyo_calibrated.json
+case "$(describe "file:$calibrated")" in
+  *'"calibrated": true'*) ;;
+  *) echo "FAIL: $calibrated does not report calibrated: true" >&2; fail=1 ;;
+esac
+qasm=$(mktemp --suffix=.qasm)
+trap 'rm -f "$qasm"' EXIT
+printf 'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[6];\nh q[0];\ncx q[0],q[3];\ncx q[3],q[5];\ncx q[0],q[5];\n' > "$qasm"
+stats=$("$CODAR" --device "file:$calibrated" "$qasm" 2>&1 >/dev/null)
+case "$stats" in
+  *'"verified": true'*) echo "ok: $calibrated routes and verifies" ;;
+  *) echo "FAIL: $calibrated did not route+verify: $stats" >&2; fail=1 ;;
+esac
+
+if [ "$fail" -ne 0 ]; then
+  echo "device file check FAILED" >&2
+  exit 1
+fi
+echo "all device files load, fingerprint deterministically, and match their presets"

@@ -1,0 +1,110 @@
+#pragma once
+
+// Per-qubit / per-edge calibration overlays (IBM backend-properties style).
+// A CalibrationTable refines the kind-level DurationMap / FidelityMap
+// defaults of a Device with heterogeneous values: every physical qubit may
+// carry its own 1-qubit-gate and readout duration/fidelity, and every
+// coupler its own 2-qubit duration/fidelity. Entries are sparse — a qubit
+// or edge without an override falls back to the kind-level default — so an
+// empty table models exactly the homogeneous devices of earlier revisions.
+//
+// Lookups are resolved through Device::duration() / Device::fidelity();
+// routers never read this table directly.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "codar/arch/durations.hpp"
+
+namespace codar::arch {
+
+using ir::Qubit;
+
+/// Sparse per-qubit / per-edge duration and fidelity overrides. Value
+/// type; edge keys are endpoint-normalized (a < b), so the (a, b) and
+/// (b, a) spellings address the same coupler.
+class CalibrationTable {
+ public:
+  using Edge = std::pair<Qubit, Qubit>;
+
+  /// True when the table carries no override at all: the device behaves
+  /// exactly like its kind-level defaults (the fast path routers test).
+  bool empty() const {
+    return duration_1q_.empty() && duration_readout_.empty() &&
+           duration_2q_.empty() && fidelity_1q_.empty() &&
+           fidelity_readout_.empty() && fidelity_2q_.empty();
+  }
+
+  // -- Setters. Durations must be >= 0, fidelities in [0, 1], qubits >= 0;
+  //    violations throw ContractViolation. Setting twice overwrites. --
+
+  void set_duration_1q(Qubit q, Duration d);
+  void set_duration_readout(Qubit q, Duration d);
+  /// Duration of one generic 2-qubit gate across coupler (a, b). SWAP
+  /// resolves to three times this value (the three-CX convention the
+  /// kind-level defaults also follow).
+  void set_duration_2q(Qubit a, Qubit b, Duration d);
+
+  void set_fidelity_1q(Qubit q, double f);
+  void set_fidelity_readout(Qubit q, double f);
+  /// Fidelity of one generic 2-qubit gate across coupler (a, b). SWAP
+  /// resolves to the cube of this value.
+  void set_fidelity_2q(Qubit a, Qubit b, double f);
+
+  // -- Lookups: the override, or nullopt when the qubit/edge has none. --
+
+  std::optional<Duration> duration_1q(Qubit q) const;
+  std::optional<Duration> duration_readout(Qubit q) const;
+  std::optional<Duration> duration_2q(Qubit a, Qubit b) const;
+  std::optional<double> fidelity_1q(Qubit q) const;
+  std::optional<double> fidelity_readout(Qubit q) const;
+  std::optional<double> fidelity_2q(Qubit a, Qubit b) const;
+
+  /// Drops every duration override (fidelity entries stay). Used by the
+  /// duration-blind router ablation, which must ignore heterogeneous
+  /// timing exactly as it ignores the kind-level durations.
+  void clear_durations();
+
+  // -- Ordered views for serialization and fingerprinting (sorted by
+  //    qubit / normalized edge, deterministic across runs). --
+
+  const std::map<Qubit, Duration>& duration_1q_entries() const {
+    return duration_1q_;
+  }
+  const std::map<Qubit, Duration>& duration_readout_entries() const {
+    return duration_readout_;
+  }
+  const std::map<Edge, Duration>& duration_2q_entries() const {
+    return duration_2q_;
+  }
+  const std::map<Qubit, double>& fidelity_1q_entries() const {
+    return fidelity_1q_;
+  }
+  const std::map<Qubit, double>& fidelity_readout_entries() const {
+    return fidelity_readout_;
+  }
+  const std::map<Edge, double>& fidelity_2q_entries() const {
+    return fidelity_2q_;
+  }
+
+  /// Content-addressed 64-bit fingerprint over every entry in sorted
+  /// order, insensitive to insertion order. An empty table fingerprints
+  /// to a fixed tag, so folding it into Device::fingerprint() keeps
+  /// homogeneous devices distinct from calibrated ones.
+  std::uint64_t fingerprint() const;
+
+  friend bool operator==(const CalibrationTable& a,
+                         const CalibrationTable& b) = default;
+
+ private:
+  std::map<Qubit, Duration> duration_1q_;
+  std::map<Qubit, Duration> duration_readout_;
+  std::map<Edge, Duration> duration_2q_;
+  std::map<Qubit, double> fidelity_1q_;
+  std::map<Qubit, double> fidelity_readout_;
+  std::map<Edge, double> fidelity_2q_;
+};
+
+}  // namespace codar::arch

@@ -1,26 +1,74 @@
 #pragma once
 
-// Device presets: the four evaluation architectures of the paper plus
-// generic lattice generators for tests and ablations. A Device bundles the
-// maQAM static structure pieces a router needs: coupling graph + durations.
+// The device model: coupling graph + kind-level duration/fidelity defaults
+// + an optional per-qubit/per-edge calibration overlay, behind one query
+// API (duration()/fidelity()) that every router and scheduler goes
+// through. Includes the four evaluation architectures of the paper plus
+// generic lattice generators for tests and ablations.
 
+#include <span>
 #include <string>
+#include <utility>
 
+#include "codar/arch/calibration.hpp"
 #include "codar/arch/coupling_graph.hpp"
 #include "codar/arch/durations.hpp"
+#include "codar/arch/fidelity_map.hpp"
 
 namespace codar::arch {
 
-/// A named NISQ device model (maQAM static structure A_s).
+/// A named NISQ device model (maQAM static structure A_s). Presets are
+/// homogeneous: kind-level durations/fidelities, empty calibration. A
+/// calibrated device (loaded from JSON, or built in code) overlays
+/// heterogeneous per-qubit/per-edge values; all consumers query through
+/// duration()/fidelity(), so homogeneous devices behave exactly as before.
 struct Device {
+  Device(std::string name, CouplingGraph graph,
+         DurationMap durations = DurationMap(),
+         FidelityMap fidelities = FidelityMap(),
+         CalibrationTable calibration = CalibrationTable())
+      : name(std::move(name)),
+        graph(std::move(graph)),
+        durations(std::move(durations)),
+        fidelities(std::move(fidelities)),
+        calibration(std::move(calibration)) {}
+
   std::string name;
   CouplingGraph graph;
-  DurationMap durations;
+  DurationMap durations;        ///< Kind-level duration defaults.
+  FidelityMap fidelities;       ///< Kind-level fidelity defaults (ideal).
+  CalibrationTable calibration; ///< Sparse heterogeneous overrides.
 
-  /// Content-addressed 64-bit fingerprint combining the coupling-graph and
-  /// duration-map fingerprints. The display name is deliberately excluded,
-  /// so two structurally identical devices fingerprint identically
-  /// regardless of how they were built or labeled.
+  /// Duration of `kind` applied to the physical qubits `phys`, resolved
+  /// against the calibration overlay:
+  ///  - 1-qubit unitaries: per-qubit 1q override, else the kind default;
+  ///  - measure: per-qubit readout override, else the kind default;
+  ///  - 2-qubit gates: per-edge 2q override, else the kind default —
+  ///    except SWAP, which resolves to 3x the edge override (three CX);
+  ///  - everything else (barrier, CCX): the kind default.
+  /// With an empty calibration this is exactly durations.of(kind).
+  Duration duration(ir::GateKind kind, std::span<const Qubit> phys) const;
+  Duration duration(const ir::Gate& g, std::span<const Qubit> phys) const {
+    return duration(g.kind(), phys);
+  }
+  /// Kind-level duration, ignoring calibration (logical circuits, which
+  /// have no physical placement yet).
+  Duration duration(ir::GateKind kind) const { return durations.of(kind); }
+
+  /// Fidelity of `kind` on `phys`, resolved like duration(): per-qubit 1q
+  /// and readout overrides, per-edge 2q overrides, SWAP = edge override
+  /// cubed. With an empty calibration this is exactly fidelities.of(kind).
+  double fidelity(ir::GateKind kind, std::span<const Qubit> phys) const;
+  double fidelity(const ir::Gate& g, std::span<const Qubit> phys) const {
+    return fidelity(g.kind(), phys);
+  }
+
+  /// Content-addressed 64-bit fingerprint combining the coupling-graph,
+  /// duration-map, fidelity-map and calibration fingerprints (schema v2).
+  /// The display name is deliberately excluded, so two structurally
+  /// identical devices fingerprint identically regardless of how they
+  /// were built or labeled — and a recalibrated device can never alias
+  /// its homogeneous twin in the serve route cache.
   std::uint64_t fingerprint() const;
 };
 

@@ -1,0 +1,70 @@
+#pragma once
+
+// JSON device descriptions: load a Device — coupling graph, kind-level
+// duration/fidelity defaults, per-qubit/per-edge calibration — from a JSON
+// document, and serialize one back canonically. This is the `--device
+// file:PATH.json` format of the CLI and the inline `device` object of
+// `codar serve`; examples/devices/ ships descriptions of the four paper
+// architectures.
+//
+// Schema (strict: unknown or malformed keys are errors, not warnings):
+//
+//   {
+//     "name": "IBM Q20 Tokyo",            // optional display name
+//     "qubits": 20,                       // required, 1..4096 (the cap
+//                                         //   bounds the O(V^2) distance
+//                                         //   matrix; devices arrive on
+//                                         //   untrusted serve requests)
+//     "edges": [[0, 1], [1, 2], ...],     // required coupler list
+//     "coordinates": [[0, 0], ...],       // optional, one [row, col]/qubit
+//     "durations": {                      // optional kind-level overrides
+//       "1q": 1, "2q": 2,                 //   broadcast helpers; "2q" also
+//                                         //   derives swap=3x and ccx=6x
+//                                         //   (the three-CX convention,
+//                                         //   like fidelities' f^3 / f^6)
+//       "swap": 6, "measure": 1,
+//       "kinds": {"cx": 2, "h": 1}        //   per-kind by qasm mnemonic
+//     },
+//     "fidelities": {                     // optional kind-level overrides
+//       "1q": 0.9977, "2q": 0.965, "measure": 0.93,
+//       "kinds": {"cx": 0.965}
+//     },
+//     "calibration": {                    // optional heterogeneous overlay
+//       "qubits": [{"qubit": 0, "duration_1q": 1, "duration_readout": 2,
+//                   "fidelity_1q": 0.999, "fidelity_readout": 0.95}],
+//       "edges": [{"edge": [0, 1], "duration_2q": 3, "fidelity_2q": 0.96}]
+//     }
+//   }
+//
+// Unset durations/fidelities fall back to the superconducting /
+// ideal defaults (exactly the presets' kind-level tables). Broadcast
+// helpers apply before "kinds"; calibration edges must exist in the
+// coupling graph. Every error throws std::invalid_argument with a
+// "device json:" message.
+
+#include <string>
+#include <string_view>
+
+#include "codar/arch/device.hpp"
+#include "codar/common/json.hpp"
+
+namespace codar::arch {
+
+/// Builds a Device from a parsed JSON document. Throws
+/// std::invalid_argument on schema violations.
+Device device_from_json(const common::Json& doc);
+
+/// Parses `text` as JSON and builds the Device. JSON syntax errors are
+/// rethrown as std::invalid_argument too, offset included.
+Device device_from_json_text(std::string_view text);
+
+/// Reads and parses a device description file. Errors mention `path`.
+Device load_device_file(const std::string& path);
+
+/// Canonical serialization: sorted edges, full per-kind duration and
+/// fidelity tables (lossless), calibration entries in sorted order,
+/// shortest round-trip number rendering. load(serialize(d)) always
+/// fingerprints identically to d.
+std::string device_to_json(const Device& device);
+
+}  // namespace codar::arch

@@ -7,6 +7,7 @@
 // analytical complement to the density-matrix simulation of Fig. 9.
 
 #include <array>
+#include <cstdint>
 
 #include "codar/arch/durations.hpp"
 
@@ -29,6 +30,11 @@ class FidelityMap {
   /// Every 2-qubit kind; SWAP is set to fidelity^3 (three CX).
   void set_all_two_qubit(double fidelity);
   void set_measure(double fidelity);
+
+  /// Content-addressed 64-bit fingerprint over the full fidelity table in
+  /// GateKind enum order (IEEE-754 bit patterns, -0.0 normalized).
+  /// Deterministic across runs, platforms and build modes.
+  std::uint64_t fingerprint() const;
 
   // -- Table I presets --
   /// Superconducting: F1q = 0.9977, F2q = 0.965, readout = 0.93.

@@ -1,0 +1,137 @@
+#include "codar/arch/calibration.hpp"
+
+#include <algorithm>
+
+#include "codar/common/fnv.hpp"
+
+namespace codar::arch {
+
+namespace {
+
+CalibrationTable::Edge normalized(Qubit a, Qubit b) {
+  CODAR_EXPECTS(a >= 0 && b >= 0 && a != b);
+  return {std::min(a, b), std::max(a, b)};
+}
+
+void check_duration(Duration d) { CODAR_EXPECTS(d >= 0); }
+
+void check_fidelity(double f) { CODAR_EXPECTS(f >= 0.0 && f <= 1.0); }
+
+template <typename Map, typename Key>
+std::optional<typename Map::mapped_type> lookup(const Map& map,
+                                                const Key& key) {
+  const auto it = map.find(key);
+  if (it == map.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace
+
+void CalibrationTable::set_duration_1q(Qubit q, Duration d) {
+  CODAR_EXPECTS(q >= 0);
+  check_duration(d);
+  duration_1q_[q] = d;
+}
+
+void CalibrationTable::set_duration_readout(Qubit q, Duration d) {
+  CODAR_EXPECTS(q >= 0);
+  check_duration(d);
+  duration_readout_[q] = d;
+}
+
+void CalibrationTable::set_duration_2q(Qubit a, Qubit b, Duration d) {
+  check_duration(d);
+  duration_2q_[normalized(a, b)] = d;
+}
+
+void CalibrationTable::set_fidelity_1q(Qubit q, double f) {
+  CODAR_EXPECTS(q >= 0);
+  check_fidelity(f);
+  fidelity_1q_[q] = f;
+}
+
+void CalibrationTable::set_fidelity_readout(Qubit q, double f) {
+  CODAR_EXPECTS(q >= 0);
+  check_fidelity(f);
+  fidelity_readout_[q] = f;
+}
+
+void CalibrationTable::set_fidelity_2q(Qubit a, Qubit b, double f) {
+  check_fidelity(f);
+  fidelity_2q_[normalized(a, b)] = f;
+}
+
+std::optional<Duration> CalibrationTable::duration_1q(Qubit q) const {
+  return lookup(duration_1q_, q);
+}
+
+std::optional<Duration> CalibrationTable::duration_readout(Qubit q) const {
+  return lookup(duration_readout_, q);
+}
+
+std::optional<Duration> CalibrationTable::duration_2q(Qubit a,
+                                                      Qubit b) const {
+  return lookup(duration_2q_, normalized(a, b));
+}
+
+std::optional<double> CalibrationTable::fidelity_1q(Qubit q) const {
+  return lookup(fidelity_1q_, q);
+}
+
+std::optional<double> CalibrationTable::fidelity_readout(Qubit q) const {
+  return lookup(fidelity_readout_, q);
+}
+
+std::optional<double> CalibrationTable::fidelity_2q(Qubit a, Qubit b) const {
+  return lookup(fidelity_2q_, normalized(a, b));
+}
+
+void CalibrationTable::clear_durations() {
+  duration_1q_.clear();
+  duration_readout_.clear();
+  duration_2q_.clear();
+}
+
+std::uint64_t CalibrationTable::fingerprint() const {
+  common::Fnv1a h;
+  h.u64(1);  // calibration fingerprint schema version
+  auto fold_qubit_durations = [&](const std::map<Qubit, Duration>& map) {
+    h.u64(map.size());
+    for (const auto& [q, d] : map) {
+      h.i64(q);
+      h.i64(d);
+    }
+  };
+  auto fold_edge_durations = [&](const std::map<Edge, Duration>& map) {
+    h.u64(map.size());
+    for (const auto& [e, d] : map) {
+      h.i64(e.first);
+      h.i64(e.second);
+      h.i64(d);
+    }
+  };
+  auto fold_qubit_fidelities = [&](const std::map<Qubit, double>& map) {
+    h.u64(map.size());
+    for (const auto& [q, f] : map) {
+      h.i64(q);
+      h.f64(f);
+    }
+  };
+  auto fold_edge_fidelities = [&](const std::map<Edge, double>& map) {
+    h.u64(map.size());
+    for (const auto& [e, f] : map) {
+      h.i64(e.first);
+      h.i64(e.second);
+      h.f64(f);
+    }
+  };
+  fold_qubit_durations(duration_1q_);
+  fold_qubit_durations(duration_readout_);
+  fold_edge_durations(duration_2q_);
+  fold_qubit_fidelities(fidelity_1q_);
+  fold_qubit_fidelities(fidelity_readout_);
+  fold_edge_fidelities(fidelity_2q_);
+  return h.value();
+}
+
+}  // namespace codar::arch

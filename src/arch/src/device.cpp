@@ -6,11 +6,52 @@
 
 namespace codar::arch {
 
+Duration Device::duration(ir::GateKind kind,
+                          std::span<const Qubit> phys) const {
+  const Duration base = durations.of(kind);
+  if (calibration.empty()) return base;
+  const int arity = ir::gate_info(kind).num_qubits;
+  if (arity == 1 && phys.size() >= 1) {
+    if (kind == ir::GateKind::kMeasure) {
+      if (const auto d = calibration.duration_readout(phys[0])) return *d;
+    } else if (ir::is_unitary(kind)) {
+      if (const auto d = calibration.duration_1q(phys[0])) return *d;
+    }
+  } else if (arity == 2 && phys.size() >= 2) {
+    if (const auto d = calibration.duration_2q(phys[0], phys[1])) {
+      // SWAP keeps the three-CX convention of the kind-level defaults.
+      return kind == ir::GateKind::kSwap ? 3 * *d : *d;
+    }
+  }
+  return base;
+}
+
+double Device::fidelity(ir::GateKind kind,
+                        std::span<const Qubit> phys) const {
+  const double base = fidelities.of(kind);
+  if (calibration.empty()) return base;
+  const int arity = ir::gate_info(kind).num_qubits;
+  if (arity == 1 && phys.size() >= 1) {
+    if (kind == ir::GateKind::kMeasure) {
+      if (const auto f = calibration.fidelity_readout(phys[0])) return *f;
+    } else if (ir::is_unitary(kind)) {
+      if (const auto f = calibration.fidelity_1q(phys[0])) return *f;
+    }
+  } else if (arity == 2 && phys.size() >= 2) {
+    if (const auto f = calibration.fidelity_2q(phys[0], phys[1])) {
+      return kind == ir::GateKind::kSwap ? *f * *f * *f : *f;
+    }
+  }
+  return base;
+}
+
 std::uint64_t Device::fingerprint() const {
   common::Fnv1a h;
-  h.u64(1);  // fingerprint schema version
+  h.u64(2);  // fingerprint schema version (2: + fidelities + calibration)
   h.u64(graph.fingerprint());
   h.u64(durations.fingerprint());
+  h.u64(fidelities.fingerprint());
+  h.u64(calibration.fingerprint());
   return h.value();
 }
 

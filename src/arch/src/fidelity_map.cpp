@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "codar/common/fnv.hpp"
+
 namespace codar::arch {
 
 using ir::GateKind;
@@ -29,12 +31,24 @@ void FidelityMap::set_all_two_qubit(double fidelity) {
     const auto kind = static_cast<GateKind>(i);
     if (ir::gate_info(kind).num_qubits == 2) table_[i] = fidelity;
   }
-  set(GateKind::kSwap, std::pow(fidelity, 3.0));
-  set(GateKind::kCCX, std::pow(fidelity, 6.0));
+  // Plain multiplications, not std::pow: these values feed the pinned
+  // fingerprints (the serve route-cache key), and pow is not correctly
+  // rounded on every libm — IEEE products are bit-exact everywhere.
+  const double cube = fidelity * fidelity * fidelity;
+  set(GateKind::kSwap, cube);
+  set(GateKind::kCCX, cube * cube);
 }
 
 void FidelityMap::set_measure(double fidelity) {
   set(GateKind::kMeasure, fidelity);
+}
+
+std::uint64_t FidelityMap::fingerprint() const {
+  common::Fnv1a h;
+  h.u64(1);  // fingerprint schema version
+  h.u64(table_.size());
+  for (const double f : table_) h.f64(f);
+  return h.value();
 }
 
 FidelityMap FidelityMap::superconducting() {

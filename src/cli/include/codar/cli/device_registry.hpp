@@ -1,31 +1,29 @@
 #pragma once
 
-// Name → Device factory covering every preset in arch/device.cpp and
-// arch/extra_devices.cpp, plus parameterized specs for the generic
-// generators:
-//
-//   q16 | tokyo | enfield | sycamore | yorktown      (fixed presets)
-//   grid:RxC | linear:N | ring:N                     (lattice generators)
-//   heavyhex:D | octagons:N | iontrap:N              (extra architectures)
+// Compatibility shim: the device catalog moved to the string-keyed
+// pipeline::DeviceRegistry (codar/pipeline/device_registry.hpp) in PR 5,
+// alongside RouterRegistry and MappingRegistry, so every front end shares
+// one catalog and third-party devices can register themselves. These
+// forwarders keep the old cli:: spellings working; new code should use
+// the registry directly.
 
 #include <string>
 #include <vector>
 
-#include "codar/arch/device.hpp"
+#include "codar/pipeline/device_registry.hpp"
 
 namespace codar::cli {
 
-/// Builds the device named by `spec`. Throws std::invalid_argument for an
-/// unknown name or out-of-range parameter.
+/// One catalog row (the registry's entry type; `spec` + `description` are
+/// the fields the old cli::DeviceEntry carried).
+using DeviceEntry = pipeline::DeviceEntry;
+
+/// Builds the device named by `spec` via DeviceRegistry::instance().
+/// Throws UsageError (listing every registered spec) for an unknown name
+/// or malformed parameter.
 arch::Device make_device(const std::string& spec);
 
-/// One catalog row for --list-devices.
-struct DeviceEntry {
-  std::string spec;         ///< Canonical name or parameterized form.
-  std::string description;
-};
-
-/// Every supported spec, fixed presets first.
+/// Every registered entry, presets first (registration order).
 const std::vector<DeviceEntry>& device_catalog();
 
 }  // namespace codar::cli

@@ -41,6 +41,7 @@ struct Options : pipeline::RoutingSpec {
 
   std::string output_path;          ///< -o FILE: routed QASM (default stdout).
   std::string stats_path;           ///< --stats FILE: JSON (default stderr/stdout).
+  std::string describe_device;      ///< --describe-device SPEC.
   bool list_devices = false;        ///< --list-devices.
   bool list_routers = false;        ///< --list-routers.
   bool list_mappings = false;       ///< --list-mappings.

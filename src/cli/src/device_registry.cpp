@@ -1,92 +1,13 @@
 #include "codar/cli/device_registry.hpp"
 
-#include <charconv>
-#include <stdexcept>
-
-#include "codar/arch/extra_devices.hpp"
-
 namespace codar::cli {
 
-namespace {
-
-int parse_param(const std::string& spec, const std::string& text) {
-  int n = 0;
-  const auto [ptr, ec] =
-      std::from_chars(text.data(), text.data() + text.size(), n);
-  if (ec != std::errc() || ptr != text.data() + text.size() || n <= 0) {
-    throw std::invalid_argument("bad device parameter in '" + spec + "'");
-  }
-  return n;
-}
-
-}  // namespace
-
 arch::Device make_device(const std::string& spec) {
-  // Fixed presets (the paper's four evaluation architectures + the unit-test
-  // bow-tie), with the aliases people actually type.
-  if (spec == "q16" || spec == "ibm_q16") return arch::ibm_q16();
-  if (spec == "tokyo" || spec == "q20" || spec == "ibm_q20_tokyo") {
-    return arch::ibm_q20_tokyo();
-  }
-  if (spec == "enfield" || spec == "6x6" || spec == "enfield_6x6") {
-    return arch::enfield_6x6();
-  }
-  if (spec == "sycamore" || spec == "q54" || spec == "google_sycamore54") {
-    return arch::google_sycamore54();
-  }
-  if (spec == "yorktown" || spec == "q5" || spec == "ibm_q5_yorktown") {
-    return arch::ibm_q5_yorktown();
-  }
-
-  // Parameterized generators: name:param.
-  const std::size_t colon = spec.find(':');
-  if (colon != std::string::npos && colon > 0 && colon + 1 < spec.size()) {
-    const std::string kind = spec.substr(0, colon);
-    const std::string param = spec.substr(colon + 1);
-    if (kind == "grid") {
-      const std::size_t x = param.find('x');
-      if (x == std::string::npos || x == 0 || x + 1 >= param.size()) {
-        throw std::invalid_argument("grid expects grid:RxC, got '" + spec +
-                                    "'");
-      }
-      return arch::grid(parse_param(spec, param.substr(0, x)),
-                        parse_param(spec, param.substr(x + 1)));
-    }
-    if (kind == "linear") return arch::linear(parse_param(spec, param));
-    if (kind == "ring") return arch::ring(parse_param(spec, param));
-    if (kind == "heavyhex") {
-      const int d = parse_param(spec, param);
-      if (d < 3 || d % 2 == 0) {
-        throw std::invalid_argument("heavyhex distance must be odd and >= 3");
-      }
-      return arch::heavy_hex(d);
-    }
-    if (kind == "octagons") {
-      return arch::rigetti_octagons(parse_param(spec, param));
-    }
-    if (kind == "iontrap") {
-      return arch::ion_trap_all_to_all(parse_param(spec, param));
-    }
-  }
-  throw std::invalid_argument("unknown device '" + spec +
-                              "' (see --list-devices)");
+  return pipeline::DeviceRegistry::instance().make(spec);
 }
 
 const std::vector<DeviceEntry>& device_catalog() {
-  static const std::vector<DeviceEntry> catalog = {
-      {"q16", "IBM Q16 (2x8 lattice, 16 qubits)"},
-      {"tokyo", "IBM Q20 Tokyo (4x5 lattice + diagonals, 20 qubits)"},
-      {"enfield", "Enfield 6x6 square lattice (36 qubits)"},
-      {"sycamore", "Google Q54 Sycamore diamond lattice (54 qubits)"},
-      {"yorktown", "IBM Q5 bow-tie (5 qubits, unit tests)"},
-      {"grid:RxC", "R x C square lattice"},
-      {"linear:N", "path graph on N qubits"},
-      {"ring:N", "cycle graph on N qubits"},
-      {"heavyhex:D", "IBM heavy-hex lattice, odd distance D >= 3"},
-      {"octagons:N", "Rigetti Aspen chain of N fused octagons"},
-      {"iontrap:N", "trapped-ion all-to-all over N qubits"},
-  };
-  return catalog;
+  return pipeline::DeviceRegistry::instance().entries();
 }
 
 }  // namespace codar::cli

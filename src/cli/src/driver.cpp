@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <optional>
@@ -174,6 +175,30 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       out << entry.spec << "\t" << entry.description << "\n";
     }
     return 0;
+  }
+  if (!opts.describe_device.empty()) {
+    // One deterministic JSON line per device: shape plus the content
+    // fingerprint the serve route cache keys on. scripts/
+    // check_device_files.sh diffs two runs of this to pin determinism.
+    try {
+      const arch::Device device = make_device(opts.describe_device);
+      char fp[32];
+      std::snprintf(fp, sizeof(fp), "0x%016llx",
+                    static_cast<unsigned long long>(device.fingerprint()));
+      out << "{\"name\": ";
+      append_json_string(out, device.name);
+      out << ", \"qubits\": " << device.graph.num_qubits()
+          << ", \"edges\": " << device.graph.num_edges()
+          << ", \"coordinates\": "
+          << (device.graph.has_coordinates() ? "true" : "false")
+          << ", \"calibrated\": "
+          << (device.calibration.empty() ? "false" : "true")
+          << ", \"fingerprint\": \"" << fp << "\"}\n";
+      return 0;
+    } catch (const std::exception& e) {
+      err << "error: " << e.what() << "\n";
+      return 2;
+    }
   }
   if (opts.list_routers) {
     for (const pipeline::RouterEntry& entry :

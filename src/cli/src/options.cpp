@@ -57,6 +57,8 @@ Options parse_args(const std::vector<std::string>& args) {
       opts.help = true;
     } else if (arg == "--list-devices") {
       opts.list_devices = true;
+    } else if (arg == "--describe-device") {
+      opts.describe_device = value();
     } else if (arg == "--list-routers") {
       opts.list_routers = true;
     } else if (arg == "--list-mappings") {
@@ -76,7 +78,7 @@ Options parse_args(const std::vector<std::string>& args) {
     }
   }
   if (opts.help || opts.list_devices || opts.list_routers ||
-      opts.list_mappings) {
+      opts.list_mappings || !opts.describe_device.empty()) {
     return opts;
   }
   const int modes = static_cast<int>(!opts.inputs.empty()) +
@@ -105,6 +107,7 @@ usage:
   codar serve [options]              NDJSON routing service with a route
                                      cache (see codar serve --help)
   codar --list-devices               print every device spec
+  codar --describe-device SPEC       print one device's shape + fingerprint
   codar --list-routers               print every registered routing pass
   codar --list-mappings              print every initial-mapping strategy
 
@@ -116,7 +119,10 @@ modes and I/O:
       --threads, -j N   batch worker threads (0 = hardware concurrency)
 
 routing:
-  -d, --device SPEC     target device (default tokyo); see --list-devices
+  -d, --device SPEC     target device (default tokyo); see --list-devices.
+                        file:PATH.json loads a JSON device description
+                        (graph + durations/fidelities + calibration; see
+                        README "Device files")
   -r, --router NAME     routing pass (default codar); see --list-routers
       --initial NAME    initial mapping (default sabre); see --list-mappings
       --seed N          initial-mapping RNG seed (default 17)

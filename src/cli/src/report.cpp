@@ -1,31 +1,16 @@
 #include "codar/cli/report.hpp"
 
-#include <cstdio>
 #include <sstream>
+
+#include "codar/common/json.hpp"
 
 namespace codar::cli {
 
 void append_json_string(std::ostream& out, std::string_view s) {
-  out << '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': out << "\\\""; break;
-      case '\\': out << "\\\\"; break;
-      case '\n': out << "\\n"; break;
-      case '\r': out << "\\r"; break;
-      case '\t': out << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out << buf;
-        } else {
-          out << c;
-        }
-    }
-  }
-  out << '"';
+  // Delegates to the one escaper of the whole binary (common::json_quote),
+  // so batch stats and serve response envelopes can never diverge on how
+  // the same byte renders.
+  out << common::json_quote(s);
 }
 
 RouteReport route_circuit(const ir::Circuit& circuit,

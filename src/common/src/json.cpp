@@ -1,13 +1,11 @@
-#include "codar/service/json.hpp"
+#include "codar/common/json.hpp"
 
 #include <cctype>
 #include <charconv>
 #include <cstdint>
-#include <sstream>
+#include <cstdio>
 
-#include "codar/cli/report.hpp"
-
-namespace codar::service {
+namespace codar::common {
 
 namespace {
 
@@ -309,12 +307,32 @@ const Json* Json::find(std::string_view key) const {
 }
 
 std::string json_quote(std::string_view s) {
-  // One escaper for the whole binary: the batch driver's. Response
-  // envelopes and the embedded "result" objects must never diverge on
-  // how the same byte renders.
-  std::ostringstream out;
-  cli::append_json_string(out, s);
-  return out.str();
+  // One escaper for the whole binary: the CLI report writer delegates
+  // here, so response envelopes and the embedded "result" objects can
+  // never diverge on how the same byte renders.
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
 }
 
-}  // namespace codar::service
+}  // namespace codar::common

@@ -59,9 +59,13 @@ class CodarRouter {
   RoutingResult route(const ir::Circuit& circuit) const;
 
  private:
-  arch::Device device_;  ///< Copied: the router owns its device model.
+  /// Copied: the router owns its device model. Every lock duration is
+  /// resolved through Device::duration(), so per-edge/per-qubit
+  /// calibration reaches the router's clock. For the duration-blind
+  /// ablation the copy's durations are replaced with the uniform profile
+  /// (and its duration calibration dropped) at construction.
+  arch::Device device_;
   CodarConfig config_;
-  arch::DurationMap lock_durations_;  ///< Real or uniform (ablation).
 };
 
 }  // namespace codar::core

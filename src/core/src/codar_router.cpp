@@ -33,11 +33,9 @@ constexpr std::size_t kMaxIterations = 50'000'000;
 class RoutingRun {
  public:
   RoutingRun(const arch::Device& device, const CodarConfig& config,
-             const arch::DurationMap& lock_durations,
              const ir::Circuit& input, const layout::Layout& initial)
       : device_(device),
         config_(config),
-        lock_dur_(lock_durations),
         gates_(input.gates().begin(), input.gates().end()),
         barriers_(input.barrier_count()),
         front_(gates_, config.front_window, config.commutativity_aware),
@@ -120,7 +118,9 @@ class RoutingRun {
           continue;
         }
         out_.add(g.remapped([&](Qubit lq) { return pi_.physical(lq); }));
-        locks_.lock(phys_scratch_, now_, lock_dur_.of(g));
+        // The device resolves calibration overrides against the *physical*
+        // operands; with an empty calibration this is the kind default.
+        locks_.lock(phys_scratch_, now_, device_.duration(g, phys_scratch_));
         retire(gi);
         launched = true;
       }
@@ -191,7 +191,7 @@ class RoutingRun {
         {now_, locks_.t_end(cand.a), locks_.t_end(cand.b)});
     out_.swap(cand.a, cand.b);
     const Qubit pair[] = {cand.a, cand.b};
-    locks_.lock(pair, start, lock_dur_.of(GateKind::kSwap));
+    locks_.lock(pair, start, device_.duration(GateKind::kSwap, pair));
     pi_.swap_physical(cand.a, cand.b);
     ++stats_.swaps_inserted;
   }
@@ -360,7 +360,6 @@ class RoutingRun {
 
   const arch::Device& device_;
   const CodarConfig& config_;
-  const arch::DurationMap& lock_dur_;
 
   std::vector<Gate> gates_;
   std::size_t barriers_;  ///< Barrier fences in the input (stat reporting).
@@ -391,12 +390,16 @@ class RoutingRun {
 }  // namespace
 
 CodarRouter::CodarRouter(const arch::Device& device, CodarConfig config)
-    : device_(device),
-      config_(config),
-      lock_durations_(config.duration_aware ? device.durations
-                                            : arch::DurationMap::uniform()) {
+    : device_(device), config_(config) {
   CODAR_EXPECTS(device.graph.is_fully_connected());
   CODAR_EXPECTS(config.stagnation_threshold >= 1);
+  if (!config.duration_aware) {
+    // Duration-blind ablation: the router's clock pretends every gate
+    // takes one cycle (SWAP 3), heterogeneous timing included — so the
+    // owned device copy drops its duration model entirely.
+    device_.durations = arch::DurationMap::uniform();
+    device_.calibration.clear_durations();
+  }
 }
 
 RoutingResult CodarRouter::route(const ir::Circuit& circuit,
@@ -405,7 +408,7 @@ RoutingResult CodarRouter::route(const ir::Circuit& circuit,
   CODAR_EXPECTS(circuit.num_qubits() <= device_.graph.num_qubits());
   CODAR_EXPECTS(initial.num_logical() == circuit.num_qubits());
   CODAR_EXPECTS(initial.num_physical() == device_.graph.num_qubits());
-  RoutingRun run(device_, config_, lock_durations_, circuit, initial);
+  RoutingRun run(device_, config_, circuit, initial);
   return run.run();
 }
 

@@ -7,11 +7,13 @@
 // registrar statics) makes registration order deterministic and immune to
 // static-library dead-stripping.
 
+#include "codar/pipeline/device_registry.hpp"
 #include "codar/pipeline/registry.hpp"
 
 namespace codar::pipeline::detail {
 
 void register_builtin_routers(RouterRegistry& registry);
 void register_builtin_mappings(MappingRegistry& registry);
+void register_builtin_devices(DeviceRegistry& registry);
 
 }  // namespace codar::pipeline::detail

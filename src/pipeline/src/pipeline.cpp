@@ -95,8 +95,11 @@ RouteReport Pipeline::run(const ir::Circuit& circuit, bool keep_qasm) const {
       report.escape_swaps = result->stats.escape_swaps;
       report.cycles = result->stats.cycles_simulated;
       report.makespan = result->stats.router_makespan;
+      // The routed circuit's indices are physical, so the device overload
+      // resolves calibration; depth_in above is a *logical* circuit and
+      // deliberately stays on the kind-level durations.
       report.depth_out =
-          schedule::weighted_depth(result->circuit, device_->durations);
+          schedule::weighted_depth(result->circuit, *device_);
     });
 
     if (spec_.verify) {

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "codar/arch/device.hpp"
 #include "codar/arch/durations.hpp"
 #include "codar/ir/circuit.hpp"
 
@@ -37,9 +38,20 @@ struct Schedule {
 Schedule asap_schedule(const ir::Circuit& circuit,
                        const arch::DurationMap& durations);
 
+/// Device-resolved variant for *routed* circuits, whose qubit indices are
+/// physical: each gate occupies its qubits for Device::duration(gate,
+/// qubits) cycles, so per-qubit/per-edge calibration shapes the schedule.
+/// Identical to the DurationMap overload when the calibration is empty.
+Schedule asap_schedule(const ir::Circuit& circuit,
+                       const arch::Device& device);
+
 /// Weighted depth = makespan of the ASAP schedule.
 Duration weighted_depth(const ir::Circuit& circuit,
                         const arch::DurationMap& durations);
+
+/// Device-resolved weighted depth (physical circuits; see asap_schedule).
+Duration weighted_depth(const ir::Circuit& circuit,
+                        const arch::Device& device);
 
 /// Classic unweighted depth (every non-barrier gate one layer).
 int unweighted_depth(const ir::Circuit& circuit);

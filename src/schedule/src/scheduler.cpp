@@ -12,8 +12,12 @@ int Schedule::active_gates_at(Duration t) const {
   return active;
 }
 
-Schedule asap_schedule(const ir::Circuit& circuit,
-                       const arch::DurationMap& durations) {
+namespace {
+
+/// Shared ASAP loop; `duration_of` resolves one gate's duration.
+template <typename DurationOf>
+Schedule asap_schedule_impl(const ir::Circuit& circuit,
+                            DurationOf&& duration_of) {
   Schedule schedule;
   schedule.gates.reserve(circuit.size());
   std::vector<Duration> avail(static_cast<std::size_t>(circuit.num_qubits()),
@@ -24,7 +28,7 @@ Schedule asap_schedule(const ir::Circuit& circuit,
     for (const ir::Qubit q : g.qubits()) {
       start = std::max(start, avail[static_cast<std::size_t>(q)]);
     }
-    const Duration finish = start + durations.of(g);
+    const Duration finish = start + duration_of(g);
     for (const ir::Qubit q : g.qubits()) {
       avail[static_cast<std::size_t>(q)] = finish;
     }
@@ -34,9 +38,29 @@ Schedule asap_schedule(const ir::Circuit& circuit,
   return schedule;
 }
 
+}  // namespace
+
+Schedule asap_schedule(const ir::Circuit& circuit,
+                       const arch::DurationMap& durations) {
+  return asap_schedule_impl(circuit,
+                            [&](const ir::Gate& g) { return durations.of(g); });
+}
+
+Schedule asap_schedule(const ir::Circuit& circuit,
+                       const arch::Device& device) {
+  return asap_schedule_impl(circuit, [&](const ir::Gate& g) {
+    return device.duration(g, g.qubits());
+  });
+}
+
 Duration weighted_depth(const ir::Circuit& circuit,
                         const arch::DurationMap& durations) {
   return asap_schedule(circuit, durations).makespan;
+}
+
+Duration weighted_depth(const ir::Circuit& circuit,
+                        const arch::Device& device) {
+  return asap_schedule(circuit, device).makespan;
 }
 
 int unweighted_depth(const ir::Circuit& circuit) {

@@ -10,13 +10,23 @@
 // Route requests carry either inline OpenQASM (`qasm`) or the name of a
 // built-in suite benchmark (`suite_name`), plus optional device/router
 // selection and an `options` object mirroring the CLI's routing knobs.
+// `device` is either a registry spec string ("tokyo", "grid:4x5") or an
+// inline JSON device description object (the `--device file:` schema —
+// see codar/arch/device_json.hpp), so clients can route against
+// calibrated devices the server has never seen; the route cache keys on
+// the device's content fingerprint either way. Filesystem-backed specs
+// (`file:PATH`) are refused on request lines — requests are untrusted
+// and must not make the server read arbitrary paths; they stay available
+// on the serve command line.
 // Unspecified fields inherit the defaults given on the `codar serve`
 // command line. `{"cmd": "stats"}` is a control request: the server drains
 // all in-flight work, then reports cache and request counters.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
+#include "codar/arch/device.hpp"
 #include "codar/cli/options.hpp"
 
 namespace codar::service {
@@ -40,6 +50,9 @@ struct ServeRequest {
   std::string suite_name;  ///< ... a built-in suite benchmark name.
   std::string name;        ///< Optional display name for the report.
   cli::Options opts;       ///< defaults overlaid with per-request fields.
+  /// Set when the request carried an inline `device` object instead of a
+  /// spec string; `opts.device` then holds its display name only.
+  std::shared_ptr<const arch::Device> inline_device;
 };
 
 /// Parses one NDJSON request line on top of the server-wide `defaults`.

@@ -1,8 +1,12 @@
 #include "codar/service/protocol.hpp"
 
 #include <cmath>
+#include <memory>
+#include <stdexcept>
 
+#include "codar/arch/device_json.hpp"
 #include "codar/common/fnv.hpp"
+#include "codar/pipeline/device_registry.hpp"
 #include "codar/pipeline/registry.hpp"
 #include "codar/service/json.hpp"
 
@@ -161,7 +165,35 @@ ServeRequest parse_request(const std::string& line,
     req.name = require_string(*name, "name");
   }
   if (const Json* device = doc.find("device")) {
-    req.opts.device = require_string(*device, "device");
+    if (device->is_string()) {
+      // Trust boundary: request lines are untrusted, and some registry
+      // entries (the `file:` JSON loader) read the server's filesystem.
+      // Refuse those here — the serve *command line* may still use them,
+      // and remote clients ship inline device objects instead.
+      const std::string& spec = device->as_string();
+      if (const pipeline::DeviceEntry* entry =
+              pipeline::DeviceRegistry::instance().resolve(spec)) {
+        if (entry->local_only) {
+          bad("device spec '" + spec + "' reads the server filesystem and "
+              "is not allowed in requests; send an inline device object "
+              "instead");
+        }
+      }
+      req.opts.device = spec;
+    } else if (device->is_object()) {
+      // Inline device description, same schema as `--device file:`. Parse
+      // errors become per-request protocol errors.
+      try {
+        auto parsed = std::make_shared<const arch::Device>(
+            arch::device_from_json(*device));
+        req.opts.device = parsed->name;  // display-only (not cache-keyed)
+        req.inline_device = std::move(parsed);
+      } catch (const std::invalid_argument& e) {
+        bad(e.what());
+      }
+    } else {
+      bad("'device' must be a spec string or a device object");
+    }
   }
   if (const Json* router = doc.find("router")) {
     req.opts.router = registered_name(pipeline::RouterRegistry::instance(),

@@ -145,7 +145,9 @@ class Server {
     std::string display_name =
         !req.name.empty() ? req.name : req.suite_name;
     try {
-      const DeviceEntry device = device_for(req.opts.device);
+      const DeviceEntry device = req.inline_device
+                                     ? inline_device_for(req.inline_device)
+                                     : device_for(req.opts.device);
       // Resolve the circuit source. Suite entries are memoized together
       // with their fingerprints, so the cache-hit fast path never copies
       // a circuit or rehashes its gates; inline QASM has to be parsed
@@ -212,6 +214,11 @@ class Server {
     return "null";
   }
 
+  /// Spec-string devices, memoized by spec for the server's lifetime.
+  /// Requests can only name immutable presets/generators (the protocol
+  /// refuses local_only specs like `file:`); a `file:` *default* given on
+  /// the serve command line is read once at first use, like any resident
+  /// service config.
   DeviceEntry device_for(const std::string& spec) {
     {
       const std::lock_guard<std::mutex> lock(devices_mutex_);
@@ -231,6 +238,44 @@ class Server {
     DeviceEntry entry{device, device->fingerprint()};
     const std::lock_guard<std::mutex> lock(devices_mutex_);
     return devices_.emplace(spec, std::move(entry)).first->second;
+  }
+
+  /// Inline `device` objects are memoized by *content fingerprint* (the
+  /// route-cache key), so repeated requests shipping the same calibrated
+  /// device share one pre-warmed model instead of re-running the all-pairs
+  /// BFS per request. A recalibrated device fingerprints differently and
+  /// gets its own entry — it can never alias its homogeneous twin.
+  DeviceEntry inline_device_for(
+      const std::shared_ptr<const arch::Device>& device) {
+    const std::uint64_t fp = device->fingerprint();
+    {
+      const std::lock_guard<std::mutex> lock(devices_mutex_);
+      if (const auto it = inline_devices_.find(fp);
+          it != inline_devices_.end()) {
+        return it->second;
+      }
+    }
+    // Warm outside the lock: the parser built this object for this request
+    // alone, so this thread still holds the only reference.
+    device->graph.distance(0, 0);
+    DeviceEntry entry{device, fp};
+    // The dominant cost of a warmed device is its V^2 distance matrix.
+    const std::size_t qubits =
+        static_cast<std::size_t>(device->graph.num_qubits());
+    const std::size_t bytes = qubits * qubits * sizeof(int);
+    const std::lock_guard<std::mutex> lock(devices_mutex_);
+    if (inline_devices_.size() >= kMaxInlineDevices ||
+        inline_device_bytes_ + bytes > kMaxInlineDeviceBytes) {
+      // Memo full (a client churning through distinct calibrations): the
+      // request still routes correctly on its own copy; only the
+      // cross-request sharing is lost.
+      return entry;
+    }
+    // Count only an actual insertion: a racing worker may have memoized
+    // the same fingerprint between the two critical sections.
+    const auto [it, inserted] = inline_devices_.emplace(fp, std::move(entry));
+    if (inserted) inline_device_bytes_ += bytes;
+    return it->second;
   }
 
   const SuiteEntry& suite_entry(const std::string& name) {
@@ -272,8 +317,18 @@ class Server {
   std::size_t pending_ = 0;  ///< Enqueued but not yet responded to.
   bool done_ = false;
 
+  /// Inline-device memo bounds. The 4096-qubit schema cap bounds *one*
+  /// device's warmed distance matrix (64 MiB); these bound their *sum*,
+  /// so untrusted clients churning through distinct calibrated devices
+  /// cannot pin memory for the server's lifetime — entries for the
+  /// many-tiny-devices case, bytes for the few-huge-devices case.
+  static constexpr std::size_t kMaxInlineDevices = 1024;
+  static constexpr std::size_t kMaxInlineDeviceBytes = 256u << 20;
+
   std::mutex devices_mutex_;
   std::unordered_map<std::string, DeviceEntry> devices_;
+  std::unordered_map<std::uint64_t, DeviceEntry> inline_devices_;
+  std::size_t inline_device_bytes_ = 0;  ///< Estimated memoized matrix bytes.
 
   std::once_flag suite_once_;
   std::unordered_map<std::string, SuiteEntry> suite_index_;
@@ -327,6 +382,13 @@ Requests are newline-delimited JSON objects:
    "router": "codar", "options": {"initial": "sabre", "seed": 17}}
   {"id": 2, "suite_name": "qft_8"}       route a built-in suite benchmark
   {"id": 3, "cmd": "stats"}              barrier + cache/request counters
+
+"device" is a registry spec string ("tokyo", "grid:4x5") or an inline
+JSON device description object (same schema as --device file:; see
+README "Device files") for calibrated devices the server has never
+seen. Inline devices are cached by content fingerprint. file:PATH specs
+are refused on request lines (untrusted clients must not read server
+paths) but remain valid serve-command-line defaults.
 
 Each response is one JSON line: {"id", "cached", "result"} where "result"
 is byte-identical to the batch driver's stats object for the same inputs.

@@ -1,0 +1,216 @@
+// CalibrationTable semantics and the Device::duration()/fidelity() query
+// API: kind-level fallback, per-qubit/per-edge overrides, the SWAP
+// three-CX convention — plus the routing-level guarantees: a calibration
+// that restates the kind defaults routes byte-identically, and a
+// heterogeneous calibration actually changes routing decisions.
+
+#include "codar/arch/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "codar/arch/device.hpp"
+#include "codar/core/codar_router.hpp"
+#include "codar/workloads/generators.hpp"
+
+namespace codar::arch {
+namespace {
+
+TEST(CalibrationTable, EmptyByDefault) {
+  CalibrationTable table;
+  EXPECT_TRUE(table.empty());
+  EXPECT_FALSE(table.duration_1q(0).has_value());
+  EXPECT_FALSE(table.duration_2q(0, 1).has_value());
+  EXPECT_FALSE(table.fidelity_readout(3).has_value());
+}
+
+TEST(CalibrationTable, StoresAndNormalizesOverrides) {
+  CalibrationTable table;
+  table.set_duration_1q(2, 3);
+  table.set_duration_readout(2, 5);
+  table.set_duration_2q(4, 1, 7);  // stored as (1, 4)
+  table.set_fidelity_1q(0, 0.99);
+  table.set_fidelity_readout(0, 0.9);
+  table.set_fidelity_2q(1, 4, 0.95);
+  EXPECT_FALSE(table.empty());
+
+  EXPECT_EQ(table.duration_1q(2), 3);
+  EXPECT_EQ(table.duration_readout(2), 5);
+  // Both endpoint orders address the same coupler.
+  EXPECT_EQ(table.duration_2q(1, 4), 7);
+  EXPECT_EQ(table.duration_2q(4, 1), 7);
+  EXPECT_EQ(table.fidelity_1q(0), 0.99);
+  EXPECT_EQ(table.fidelity_readout(0), 0.9);
+  EXPECT_EQ(table.fidelity_2q(4, 1), 0.95);
+  // Untouched qubits/edges stay default.
+  EXPECT_FALSE(table.duration_1q(0).has_value());
+  EXPECT_FALSE(table.duration_2q(0, 1).has_value());
+
+  // Setting twice overwrites.
+  table.set_duration_1q(2, 9);
+  EXPECT_EQ(table.duration_1q(2), 9);
+}
+
+TEST(CalibrationTable, RejectsOutOfContractValues) {
+  CalibrationTable table;
+  EXPECT_THROW(table.set_duration_1q(-1, 1), ContractViolation);
+  EXPECT_THROW(table.set_duration_1q(0, -1), ContractViolation);
+  EXPECT_THROW(table.set_duration_2q(3, 3, 1), ContractViolation);
+  EXPECT_THROW(table.set_fidelity_1q(0, 1.5), ContractViolation);
+  EXPECT_THROW(table.set_fidelity_2q(0, 1, -0.1), ContractViolation);
+}
+
+TEST(CalibrationTable, ClearDurationsKeepsFidelities) {
+  CalibrationTable table;
+  table.set_duration_2q(0, 1, 9);
+  table.set_fidelity_2q(0, 1, 0.9);
+  table.clear_durations();
+  EXPECT_FALSE(table.duration_2q(0, 1).has_value());
+  EXPECT_EQ(table.fidelity_2q(0, 1), 0.9);
+  EXPECT_FALSE(table.empty());
+}
+
+TEST(CalibrationTable, FingerprintIsInsertionOrderIndependent) {
+  CalibrationTable a;
+  a.set_duration_2q(0, 1, 4);
+  a.set_duration_2q(2, 3, 5);
+  a.set_fidelity_1q(7, 0.9);
+  CalibrationTable b;
+  b.set_fidelity_1q(7, 0.9);
+  b.set_duration_2q(3, 2, 5);  // reversed endpoints, different order
+  b.set_duration_2q(1, 0, 4);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a, b);
+
+  b.set_duration_2q(2, 3, 6);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+
+  // A duration override and a fidelity override must not alias.
+  CalibrationTable dur;
+  dur.set_duration_1q(0, 1);
+  CalibrationTable fid;
+  fid.set_fidelity_1q(0, 1.0);
+  EXPECT_NE(dur.fingerprint(), fid.fingerprint());
+}
+
+// -- Device::duration / Device::fidelity ------------------------------------
+
+TEST(DeviceQueries, KindDefaultsWithoutCalibration) {
+  const Device dev = ibm_q5_yorktown();
+  const Qubit q01[] = {0, 1};
+  const Qubit q0[] = {0};
+  EXPECT_EQ(dev.duration(ir::GateKind::kCX, q01), 2);
+  EXPECT_EQ(dev.duration(ir::GateKind::kSwap, q01), 6);
+  EXPECT_EQ(dev.duration(ir::GateKind::kH, q0), 1);
+  EXPECT_EQ(dev.duration(ir::GateKind::kMeasure, q0), 1);
+  EXPECT_EQ(dev.fidelity(ir::GateKind::kCX, q01), 1.0);  // ideal default
+}
+
+TEST(DeviceQueries, CalibrationOverridesResolvePerSite) {
+  Device dev = ibm_q5_yorktown();
+  dev.calibration.set_duration_1q(0, 4);
+  dev.calibration.set_duration_readout(1, 8);
+  dev.calibration.set_duration_2q(0, 1, 5);
+  dev.calibration.set_fidelity_2q(0, 1, 0.9);
+  dev.calibration.set_fidelity_1q(2, 0.99);
+  dev.calibration.set_fidelity_readout(2, 0.8);
+
+  const Qubit q0[] = {0};
+  const Qubit q1[] = {1};
+  const Qubit q2[] = {2};
+  const Qubit q01[] = {0, 1};
+  const Qubit q10[] = {1, 0};
+  const Qubit q23[] = {2, 3};
+
+  // 1q unitaries pick up the per-qubit override; other qubits keep the
+  // kind default.
+  EXPECT_EQ(dev.duration(ir::GateKind::kH, q0), 4);
+  EXPECT_EQ(dev.duration(ir::GateKind::kX, q0), 4);
+  EXPECT_EQ(dev.duration(ir::GateKind::kH, q1), 1);
+  // Readout is separate from 1q gates.
+  EXPECT_EQ(dev.duration(ir::GateKind::kMeasure, q1), 8);
+  EXPECT_EQ(dev.duration(ir::GateKind::kMeasure, q0), 1);
+  // 2q gates resolve per edge, either endpoint order.
+  EXPECT_EQ(dev.duration(ir::GateKind::kCX, q01), 5);
+  EXPECT_EQ(dev.duration(ir::GateKind::kCZ, q10), 5);
+  EXPECT_EQ(dev.duration(ir::GateKind::kCX, q23), 2);
+  // SWAP = three CX on the calibrated edge, kind default elsewhere.
+  EXPECT_EQ(dev.duration(ir::GateKind::kSwap, q01), 15);
+  EXPECT_EQ(dev.duration(ir::GateKind::kSwap, q23), 6);
+
+  EXPECT_DOUBLE_EQ(dev.fidelity(ir::GateKind::kCX, q01), 0.9);
+  EXPECT_DOUBLE_EQ(dev.fidelity(ir::GateKind::kSwap, q01), 0.9 * 0.9 * 0.9);
+  EXPECT_DOUBLE_EQ(dev.fidelity(ir::GateKind::kH, q2), 0.99);
+  EXPECT_DOUBLE_EQ(dev.fidelity(ir::GateKind::kMeasure, q2), 0.8);
+  EXPECT_DOUBLE_EQ(dev.fidelity(ir::GateKind::kCX, q23), 1.0);
+}
+
+// -- Routing-level guarantees ------------------------------------------------
+
+/// A calibration that restates the kind-level defaults on every site must
+/// not change a single routing decision.
+TEST(CalibratedRouting, RestatedDefaultsRouteByteIdentically) {
+  const Device plain = ibm_q20_tokyo();
+  Device restated = ibm_q20_tokyo();
+  for (const auto& [a, b] : restated.graph.edges()) {
+    restated.calibration.set_duration_2q(
+        a, b, restated.durations.of(ir::GateKind::kCX));
+  }
+  for (Qubit q = 0; q < restated.graph.num_qubits(); ++q) {
+    restated.calibration.set_duration_1q(
+        q, restated.durations.of(ir::GateKind::kH));
+  }
+  ASSERT_FALSE(restated.calibration.empty());
+  ASSERT_NE(plain.fingerprint(), restated.fingerprint());
+
+  const ir::Circuit circuit = workloads::qft(12);
+  const core::RoutingResult a = core::CodarRouter(plain).route(circuit);
+  const core::RoutingResult b = core::CodarRouter(restated).route(circuit);
+  ASSERT_EQ(a.circuit.size(), b.circuit.size());
+  for (std::size_t i = 0; i < a.circuit.size(); ++i) {
+    ASSERT_EQ(a.circuit.gate(i), b.circuit.gate(i)) << "gate " << i;
+  }
+  EXPECT_EQ(a.stats.swaps_inserted, b.stats.swaps_inserted);
+  EXPECT_EQ(a.stats.router_makespan, b.stats.router_makespan);
+  EXPECT_EQ(a.stats.cycles_simulated, b.stats.cycles_simulated);
+}
+
+/// Per-edge durations must actually reach the router's clock: slowing
+/// down half the couplers changes the routed output, not just its score.
+TEST(CalibratedRouting, HeterogeneousEdgeDurationsChangeRouting) {
+  const Device plain = ibm_q20_tokyo();
+  Device slow = ibm_q20_tokyo();
+  // Every other coupler is 8x slower — an uneven device in the spirit of
+  // real backend calibration data.
+  bool alternate = false;
+  for (const auto& [a, b] : slow.graph.edges()) {
+    if ((alternate = !alternate)) slow.calibration.set_duration_2q(a, b, 16);
+  }
+
+  const ir::Circuit circuit = workloads::qft(12);
+  const core::RoutingResult fast = core::CodarRouter(plain).route(circuit);
+  const core::RoutingResult het = core::CodarRouter(slow).route(circuit);
+
+  bool differs = fast.circuit.size() != het.circuit.size() ||
+                 fast.stats.router_makespan != het.stats.router_makespan;
+  for (std::size_t i = 0;
+       !differs && i < fast.circuit.size() && i < het.circuit.size(); ++i) {
+    differs = !(fast.circuit.gate(i) == het.circuit.gate(i));
+  }
+  EXPECT_TRUE(differs)
+      << "per-edge durations did not influence routing decisions";
+
+  // The duration-blind ablation must ignore the calibration entirely.
+  core::CodarConfig blind;
+  blind.duration_aware = false;
+  const core::RoutingResult blind_plain =
+      core::CodarRouter(plain, blind).route(circuit);
+  const core::RoutingResult blind_het =
+      core::CodarRouter(slow, blind).route(circuit);
+  ASSERT_EQ(blind_plain.circuit.size(), blind_het.circuit.size());
+  for (std::size_t i = 0; i < blind_plain.circuit.size(); ++i) {
+    ASSERT_EQ(blind_plain.circuit.gate(i), blind_het.circuit.gate(i));
+  }
+}
+
+}  // namespace
+}  // namespace codar::arch

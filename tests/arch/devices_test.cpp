@@ -106,12 +106,41 @@ TEST(DeviceFingerprint, PinnedValues) {
   // Pinned across runs, platforms and build modes: the serve route cache
   // keys on these, so a silent change would invalidate persisted caches.
   // If a fingerprint-schema change is intentional, bump the version tag
-  // and re-pin.
+  // and re-pin. (Device schema v2 since PR 5: fidelity map + calibration
+  // folded in.)
   const Device tokyo = ibm_q20_tokyo();
   EXPECT_EQ(tokyo.graph.fingerprint(), 0xb9d107e764d6aeb7ull);
   EXPECT_EQ(tokyo.durations.fingerprint(), 0x5e2f25065b076676ull);
-  EXPECT_EQ(tokyo.fingerprint(), 0xa45ad997861235b9ull);
-  EXPECT_EQ(ibm_q5_yorktown().fingerprint(), 0x63ba986fd82cb3beull);
+  EXPECT_EQ(tokyo.fidelities.fingerprint(), 0x10a4bfa138278efeull);
+  EXPECT_EQ(tokyo.fingerprint(), 0xd3c6885709513960ull);
+  EXPECT_EQ(ibm_q5_yorktown().fingerprint(), 0x5d39476bbaf326bfull);
+}
+
+TEST(DeviceFingerprint, PinnedFidelityMapValues) {
+  // FidelityMap::fingerprint feeds Device::fingerprint (and thus the
+  // serve cache key); pin the two common tables.
+  EXPECT_EQ(FidelityMap().fingerprint(), 0x10a4bfa138278efeull);
+  EXPECT_EQ(FidelityMap::superconducting().fingerprint(),
+            0x086594f6ba459f22ull);
+  EXPECT_NE(FidelityMap::ion_trap().fingerprint(),
+            FidelityMap::neutral_atom().fingerprint());
+}
+
+TEST(DeviceFingerprint, FidelityAndCalibrationDistinguish) {
+  Device plain = linear(4);
+  Device measured = linear(4);
+  measured.fidelities = FidelityMap::superconducting();
+  EXPECT_NE(plain.fingerprint(), measured.fingerprint());
+
+  // A recalibrated device must never alias its homogeneous twin in the
+  // serve route cache.
+  Device calibrated = linear(4);
+  calibrated.calibration.set_duration_2q(1, 2, 5);
+  EXPECT_NE(plain.fingerprint(), calibrated.fingerprint());
+
+  Device recalibrated = linear(4);
+  recalibrated.calibration.set_duration_2q(1, 2, 7);
+  EXPECT_NE(calibrated.fingerprint(), recalibrated.fingerprint());
 }
 
 TEST(DeviceFingerprint, IndependentOfEdgeInsertionOrder) {

@@ -53,5 +53,28 @@ TEST(FidelityMap, OfGateDelegatesToKind) {
   EXPECT_DOUBLE_EQ(m.of(ir::Gate::cx(0, 1)), m.of(GateKind::kCX));
 }
 
+TEST(FidelityMap, FingerprintPinnedAndContentAddressed) {
+  // Pinned across runs, platforms and build modes — Device::fingerprint
+  // (and thus the serve route-cache key) folds this in. Bump the schema
+  // version and re-pin on an intentional change.
+  EXPECT_EQ(FidelityMap().fingerprint(), 0x10a4bfa138278efeull);
+  EXPECT_EQ(FidelityMap::superconducting().fingerprint(),
+            0x086594f6ba459f22ull);
+
+  // Same content → same fingerprint, regardless of how it was built.
+  FidelityMap rebuilt;
+  rebuilt.set_all_single_qubit(0.9977);
+  rebuilt.set_all_two_qubit(0.965);
+  rebuilt.set_measure(0.93);
+  EXPECT_EQ(rebuilt.fingerprint(),
+            FidelityMap::superconducting().fingerprint());
+
+  // Any single entry distinguishes.
+  FidelityMap tweaked = FidelityMap::superconducting();
+  tweaked.set(GateKind::kCX, 0.964);
+  EXPECT_NE(tweaked.fingerprint(),
+            FidelityMap::superconducting().fingerprint());
+}
+
 }  // namespace
 }  // namespace codar::arch

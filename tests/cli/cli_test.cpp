@@ -130,11 +130,54 @@ TEST(CliDeviceRegistry, BuildsParameterizedSpecs) {
 }
 
 TEST(CliDeviceRegistry, RejectsBadSpecs) {
-  EXPECT_THROW(make_device("melbourne"), std::invalid_argument);
-  EXPECT_THROW(make_device("grid:3"), std::invalid_argument);
-  EXPECT_THROW(make_device("grid:0x4"), std::invalid_argument);
-  EXPECT_THROW(make_device("heavyhex:4"), std::invalid_argument);
-  EXPECT_THROW(make_device("linear:-2"), std::invalid_argument);
+  // UsageError since the move to pipeline::DeviceRegistry — the same type
+  // unknown routers and mappings throw.
+  EXPECT_THROW(make_device("melbourne"), UsageError);
+  EXPECT_THROW(make_device("grid:3"), UsageError);
+  EXPECT_THROW(make_device("grid:0x4"), UsageError);
+  EXPECT_THROW(make_device("heavyhex:4"), UsageError);
+  EXPECT_THROW(make_device("linear:-2"), UsageError);
+  EXPECT_THROW(make_device("grid"), UsageError);     // missing parameter
+  EXPECT_THROW(make_device("tokyo:3"), UsageError);  // preset with parameter
+}
+
+TEST(CliDeviceRegistry, UnknownDeviceListsRegisteredSpecs) {
+  // Matching the unknown-router behavior: the message enumerates every
+  // registered spec, so a newly registered device appears without edits.
+  try {
+    make_device("melbourne");
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    EXPECT_EQ(std::string(e.what()),
+              "unknown device 'melbourne' (expected "
+              "q16|tokyo|enfield|sycamore|yorktown|grid:RxC|linear:N|"
+              "ring:N|heavyhex:D|octagons:N|iontrap:N|file:PATH.json)");
+  }
+}
+
+TEST(CliDeviceRegistry, AliasesResolveToTheSameDevice) {
+  EXPECT_EQ(make_device("q20").fingerprint(),
+            make_device("tokyo").fingerprint());
+  EXPECT_EQ(make_device("ibm_q16").fingerprint(),
+            make_device("q16").fingerprint());
+  EXPECT_EQ(make_device("6x6").fingerprint(),
+            make_device("enfield").fingerprint());
+}
+
+TEST(CliDeviceRegistry, FileSpecLoadsJsonDeviceDescriptions) {
+  const fs::path dir = temp_dir("codar_file_device");
+  const fs::path path = dir / "dev.json";
+  {
+    std::ofstream out(path);
+    out << R"({"name": "tiny", "qubits": 3, "edges": [[0, 1], [1, 2]]})";
+  }
+  const arch::Device device = make_device("file:" + path.string());
+  EXPECT_EQ(device.name, "tiny");
+  EXPECT_EQ(device.graph.num_qubits(), 3);
+  EXPECT_TRUE(device.graph.connected(0, 1));
+  EXPECT_THROW(make_device("file:" + (dir / "missing.json").string()),
+               std::invalid_argument);
+  EXPECT_THROW(make_device("file"), UsageError);  // missing path
 }
 
 // -- Single-circuit routing -------------------------------------------------

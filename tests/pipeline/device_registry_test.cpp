@@ -1,0 +1,104 @@
+// The string-keyed device registry: built-in catalog coverage, alias
+// resolution, parameterized specs, error behavior (unknown specs list
+// every registered spec, like routers/mappings), and external
+// registration.
+
+#include "codar/pipeline/device_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "codar/arch/device_json.hpp"
+
+namespace codar::pipeline {
+namespace {
+
+TEST(DeviceRegistry, BuiltinsRegisterOnFirstUse) {
+  DeviceRegistry& reg = DeviceRegistry::instance();
+  for (const char* name : {"q16", "tokyo", "enfield", "sycamore",
+                           "yorktown", "grid", "linear", "ring", "heavyhex",
+                           "octagons", "iontrap", "file"}) {
+    EXPECT_NE(reg.find(name), nullptr) << name;
+  }
+  // Fixed presets first, in catalog order.
+  ASSERT_GE(reg.entries().size(), 12u);
+  EXPECT_EQ(reg.entries().front().name, "q16");
+}
+
+TEST(DeviceRegistry, MakeResolvesNamesAliasesAndParameters) {
+  DeviceRegistry& reg = DeviceRegistry::instance();
+  EXPECT_EQ(reg.make("tokyo").graph.num_qubits(), 20);
+  EXPECT_EQ(reg.make("q20").graph.num_qubits(), 20);
+  EXPECT_EQ(reg.make("ibm_q20_tokyo").graph.num_qubits(), 20);
+  EXPECT_EQ(reg.make("grid:2x3").graph.num_qubits(), 6);
+  EXPECT_EQ(reg.make("linear:5").graph.num_qubits(), 5);
+}
+
+TEST(DeviceRegistry, SpecsEnumeratesDisplayForms) {
+  const std::string specs = DeviceRegistry::instance().specs();
+  EXPECT_NE(specs.find("tokyo"), std::string::npos);
+  EXPECT_NE(specs.find("grid:RxC"), std::string::npos);
+  EXPECT_NE(specs.find("file:PATH.json"), std::string::npos);
+}
+
+TEST(DeviceRegistry, ErrorsCarryTheFullSpecList) {
+  DeviceRegistry& reg = DeviceRegistry::instance();
+  try {
+    reg.make("nope");
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    EXPECT_NE(std::string(e.what()).find(reg.specs()), std::string::npos);
+  }
+  // Parameter shape errors name the expected form.
+  try {
+    reg.make("grid");
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    EXPECT_NE(std::string(e.what()).find("grid:RxC"), std::string::npos);
+  }
+  try {
+    reg.make("yorktown:5");
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    EXPECT_NE(std::string(e.what()).find("takes no parameter"),
+              std::string::npos);
+  }
+}
+
+TEST(DeviceRegistry, RejectsBadRegistrations) {
+  DeviceRegistry reg;
+  EXPECT_THROW(reg.add(DeviceEntry{}), std::logic_error);  // no factory
+  DeviceEntry entry;
+  entry.name = "custom";
+  entry.spec = "custom";
+  entry.make = [](const std::string&, const std::string&) {
+    return arch::ibm_q5_yorktown();
+  };
+  reg.add(entry);
+  EXPECT_THROW(reg.add(entry), std::logic_error);  // duplicate
+  DeviceEntry alias_clash;
+  alias_clash.name = "other";
+  alias_clash.spec = "other";
+  alias_clash.aliases = {"custom"};
+  alias_clash.make = entry.make;
+  EXPECT_THROW(reg.add(alias_clash), std::logic_error);
+}
+
+TEST(DeviceRegistry, ExternalEntriesJoinTheCatalog) {
+  // A private registry (the process-wide one must stay pristine for the
+  // other tests): registering one entry makes it buildable and listed.
+  DeviceRegistry reg;
+  DeviceEntry entry;
+  entry.name = "twin";
+  entry.spec = "twin:N";
+  entry.description = "two disconnected qubits (test)";
+  entry.takes_arg = true;
+  entry.make = [](const std::string&, const std::string& arg) {
+    return arch::linear(std::stoi(arg));
+  };
+  reg.add(std::move(entry));
+  EXPECT_EQ(reg.make("twin:4").graph.num_qubits(), 4);
+  EXPECT_EQ(reg.specs(), "twin:N");
+}
+
+}  // namespace
+}  // namespace codar::pipeline

@@ -141,6 +141,55 @@ TEST(ParseRequest, FullRouteRequest) {
   EXPECT_TRUE(req.opts.codar.duration_aware);  // untouched default
 }
 
+TEST(ParseRequest, InlineDeviceObject) {
+  const ServeRequest req = parse_request(
+      R"({"id": 4, "suite_name": "ghz_3",
+          "device": {"name": "inline pair", "qubits": 2,
+                     "edges": [[0, 1]],
+                     "calibration": {"edges": [
+                       {"edge": [0, 1], "duration_2q": 7}]}}})",
+      defaults());
+  ASSERT_NE(req.inline_device, nullptr);
+  EXPECT_EQ(req.inline_device->graph.num_qubits(), 2);
+  EXPECT_EQ(req.inline_device->calibration.duration_2q(0, 1), 7);
+  // The device spec string becomes the display name only.
+  EXPECT_EQ(req.opts.device, "inline pair");
+
+  // A spec string keeps the old behavior (no inline device).
+  const ServeRequest by_name =
+      parse_request(R"({"suite_name": "ghz_3", "device": "q16"})",
+                    defaults());
+  EXPECT_EQ(by_name.inline_device, nullptr);
+  EXPECT_EQ(by_name.opts.device, "q16");
+
+  // Filesystem-backed specs are refused on (untrusted) request lines:
+  // a client must not be able to make the server read arbitrary paths.
+  try {
+    parse_request(R"({"suite_name": "ghz_3", "device": "file:/etc/shadow"})",
+                  defaults());
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("inline device object"),
+              std::string::npos)
+        << e.what();
+  }
+
+  // Malformed inline devices are per-request protocol errors, with the
+  // same strict schema as `--device file:`.
+  EXPECT_THROW(
+      parse_request(R"({"suite_name": "ghz_3", "device": 7})", defaults()),
+      ProtocolError);
+  EXPECT_THROW(parse_request(R"({"suite_name": "ghz_3",
+                                 "device": {"qubits": 2}})",
+                             defaults()),
+               ProtocolError);
+  EXPECT_THROW(parse_request(R"({"suite_name": "ghz_3",
+                                 "device": {"qubits": 2, "edges": [[0, 1]],
+                                            "wat": 1}})",
+                             defaults()),
+               ProtocolError);
+}
+
 TEST(ParseRequest, StatsCommand) {
   const ServeRequest req =
       parse_request(R"({"id": 1, "cmd": "stats"})", defaults());

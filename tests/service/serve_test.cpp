@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "codar/arch/device_json.hpp"
 #include "codar/cli/device_registry.hpp"
 #include "codar/cli/driver.hpp"
 #include "codar/service/json.hpp"
@@ -247,6 +248,48 @@ TEST(Serve, TimingOptionKeepsCacheKeyButChangesRendering) {
   EXPECT_TRUE(cached_flag(index.at("2")));
   EXPECT_EQ(index.at("1").find("route_us"), std::string::npos);
   EXPECT_NE(index.at("2").find("route_us"), std::string::npos);
+}
+
+TEST(Serve, InlineDeviceObjectsShareTheCacheByContent) {
+  ServeOptions sopts;
+  sopts.defaults.threads = 1;
+
+  // A request line is one JSON document; flatten the (pretty-printed)
+  // device serialization onto it.
+  auto one_line = [](std::string text) {
+    for (char& c : text) {
+      if (c == '\n') c = ' ';
+    }
+    return text;
+  };
+  const std::string enfield = one_line(device_to_json(arch::enfield_6x6()));
+  arch::Device slow = arch::enfield_6x6();
+  slow.calibration.set_duration_2q(0, 1, 16);
+  const std::string calibrated = one_line(device_to_json(slow));
+
+  const std::vector<std::string> lines = {
+      R"({"id": 1, "suite_name": "qft_8", "device": "enfield"})",
+      // Content-identical inline device: must hit the spec-string entry
+      // (the cache keys on the device fingerprint, not its spelling).
+      R"({"id": 2, "suite_name": "qft_8", "device": )" + enfield + "}",
+      // A recalibrated device fingerprints differently: never aliased.
+      R"({"id": 3, "suite_name": "qft_8", "device": )" + calibrated + "}",
+      R"({"id": 4, "cmd": "stats"})",
+  };
+  const std::map<std::string, std::string> index = by_id(serve(sopts, lines));
+  EXPECT_FALSE(cached_flag(index.at("1")));
+  EXPECT_TRUE(cached_flag(index.at("2")));
+  EXPECT_FALSE(cached_flag(index.at("3")));
+  EXPECT_NE(index.at("3").find("\"verified\": true"), std::string::npos)
+      << index.at("3");
+  // The inline device's display name lands in the result's device field.
+  EXPECT_NE(index.at("2").find("\"device\": \"Enfield 6x6\""),
+            std::string::npos)
+      << index.at("2");
+
+  const Json stats = Json::parse(index.at("4"));
+  EXPECT_EQ(stats.find("requests")->as_number(), 3.0);
+  EXPECT_EQ(stats.find("routed")->as_number(), 2.0);
 }
 
 TEST(ServeArgs, ParseAndUsage) {
