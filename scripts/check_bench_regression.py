@@ -1,14 +1,18 @@
 #!/usr/bin/env python3
-"""Bench regression gate: diff a fresh bench_router_throughput run against
-the committed baseline and fail on any routing-quality drift.
+"""Bench regression gate: diff fresh bench runs against their committed
+baselines and fail on any routing-quality drift.
 
 Usage:
-    check_bench_regression.py BASELINE.json CANDIDATE.json
+    check_bench_regression.py BASELINE.json CANDIDATE.json \
+                              [BASELINE2.json CANDIDATE2.json ...]
 
-Routing quality (swaps, makespan, cycles per benchmark) is deterministic,
-so ANY difference is a regression (or an improvement that must be
-committed deliberately by refreshing the baseline). Wall time is machine-
-dependent and stays informational: it is printed but never gates.
+Arguments are baseline/candidate pairs, so one invocation can gate both
+BENCH_router.json (the 71-benchmark suite) and BENCH_scaling.json (the
+large-device sweep). Routing quality (swaps, makespan, cycles per
+benchmark) is deterministic, so ANY difference is a regression (or an
+improvement that must be committed deliberately by refreshing the
+baseline). Wall time is machine-dependent and stays informational: it is
+printed but never gates.
 
 Exit codes: 0 = no drift, 1 = drift or benchmark set mismatch,
 2 = bad invocation / unreadable input.
@@ -34,20 +38,16 @@ def load(path):
     return doc, {row["name"]: row for row in results}
 
 
-def main(argv):
-    if len(argv) != 3:
-        print(__doc__, file=sys.stderr)
-        return 2
-    baseline_doc, baseline = load(argv[1])
-    candidate_doc, candidate = load(argv[2])
+def check_pair(baseline_path, candidate_path):
+    """Returns (drift_lines, benchmark_count) for one baseline/candidate."""
+    baseline_doc, baseline = load(baseline_path)
+    candidate_doc, candidate = load(candidate_path)
 
     drift = []
-    missing = sorted(baseline.keys() - candidate.keys())
-    extra = sorted(candidate.keys() - baseline.keys())
-    for name in missing:
+    for name in sorted(baseline.keys() - candidate.keys()):
         drift.append(f"{name}: missing from candidate run")
-    for name in extra:
-        drift.append(f"{name}: not in baseline (refresh {argv[1]}?)")
+    for name in sorted(candidate.keys() - baseline.keys()):
+        drift.append(f"{name}: not in baseline (refresh {baseline_path}?)")
 
     for name in sorted(baseline.keys() & candidate.keys()):
         for field in GATED_FIELDS:
@@ -58,19 +58,36 @@ def main(argv):
     base_ms = baseline_doc.get("summary", {}).get("total_wall_ms")
     cand_ms = candidate_doc.get("summary", {}).get("total_wall_ms")
     if base_ms and cand_ms:
-        print(f"wall time (informational): baseline {base_ms:.1f} ms, "
-              f"candidate {cand_ms:.1f} ms "
+        print(f"{baseline_path}: wall time (informational) baseline "
+              f"{base_ms:.1f} ms, candidate {cand_ms:.1f} ms "
               f"({cand_ms / base_ms - 1.0:+.1%} vs baseline)")
 
-    if drift:
-        print(f"ROUTING-QUALITY DRIFT across {len(drift)} check(s):")
-        for line in drift:
+    return drift, len(baseline)
+
+
+def main(argv):
+    if len(argv) < 3 or len(argv) % 2 != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    pairs = [(argv[i], argv[i + 1]) for i in range(1, len(argv), 2)]
+    all_drift = []
+    total_benchmarks = 0
+    for baseline_path, candidate_path in pairs:
+        drift, count = check_pair(baseline_path, candidate_path)
+        all_drift.extend(f"{baseline_path}: {line}" for line in drift)
+        total_benchmarks += count
+
+    if all_drift:
+        print(f"ROUTING-QUALITY DRIFT across {len(all_drift)} check(s):")
+        for line in all_drift:
             print(f"  {line}")
-        print(f"\nIf this change is intentional, regenerate the baseline:\n"
-              f"  ./build/bench/bench_router_throughput {argv[1]}")
+        print("\nIf this change is intentional, regenerate the baseline(s) "
+              "with the matching bench binary (bench_router_throughput / "
+              "bench_runtime_scaling).")
         return 1
 
-    print(f"OK: {len(baseline)} benchmarks, "
+    print(f"OK: {total_benchmarks} benchmarks across {len(pairs)} pair(s), "
           f"{len(GATED_FIELDS)} gated fields each, no drift.")
     return 0
 

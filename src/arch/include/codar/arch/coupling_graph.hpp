@@ -1,10 +1,19 @@
 #pragma once
 
 // The maQAM static structure M = (Q_H, E_H): an undirected coupling graph
-// over physical qubits, with the all-pairs shortest-path map D the paper's
-// heuristic needs, plus optional 2-D lattice coordinates that enable the
-// fine priority H_fine.
+// over physical qubits, with the shortest-path map D the paper's heuristic
+// needs, plus optional 2-D lattice coordinates that enable the fine
+// priority H_fine.
+//
+// Distance queries are answered by a pluggable DistanceOracle (see
+// distance_oracle.hpp): a dense all-pairs matrix for small devices and an
+// on-demand CSR/BFS backend with an LRU row cache for large ones, chosen
+// by set_distance_policy() / the process-wide default. Both return
+// identical values; only memory and latency differ.
 
+#include <cstdint>
+#include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -14,8 +23,23 @@ namespace codar::arch {
 
 using ir::Qubit;
 
+class DistanceOracle;
+
+/// How distance queries are resolved (see distance_oracle.hpp for the
+/// backends). Graphs default to kInherit, which reads the process-wide
+/// policy (kAuto unless overridden via --distance-oracle or
+/// set_default_distance_policy()).
+enum class DistancePolicy {
+  kInherit,   ///< Use the process-wide default policy.
+  kAuto,      ///< Dense up to kDenseOracleMaxQubits qubits, on-demand above.
+  kDense,     ///< Force the all-pairs matrix (O(V^2) memory).
+  kOnDemand,  ///< Force CSR + LRU-cached per-source BFS rows.
+  kLandmark,  ///< On-demand plus a landmark table for lower_bound().
+};
+
 /// Distance value for disconnected qubit pairs. Large but safely summable
-/// (the basic heuristic adds distances over the whole CF set).
+/// (the basic heuristic adds distances over the whole CF set — with a
+/// saturating add guarding the accumulator, see core::saturating_add).
 inline constexpr int kInfDistance = 1 << 28;
 
 /// Row/column position of a qubit on a 2-D lattice device.
@@ -24,10 +48,21 @@ struct Coordinate {
   int col = 0;
 };
 
-/// Undirected coupling graph with cached BFS all-pairs distances.
+/// Undirected coupling graph with oracle-backed shortest-path distances.
 class CouplingGraph {
  public:
   explicit CouplingGraph(int num_qubits);
+  ~CouplingGraph();
+
+  // Copies share an already-built oracle (copies of an unmutated graph
+  // are structurally identical, and oracles own an immutable snapshot of
+  // the adjacency) — so routers that copy a prepared Device per circuit
+  // never rebuild the distance backend. Mutating either side afterwards
+  // detaches it by resetting its oracle.
+  CouplingGraph(const CouplingGraph& other);
+  CouplingGraph& operator=(const CouplingGraph& other);
+  CouplingGraph(CouplingGraph&&) noexcept;
+  CouplingGraph& operator=(CouplingGraph&&) noexcept;
 
   int num_qubits() const { return num_qubits_; }
   std::size_t num_edges() const { return edges_.size(); }
@@ -41,9 +76,36 @@ class CouplingGraph {
   const std::vector<Qubit>& neighbors(Qubit q) const;
   const std::vector<std::pair<Qubit, Qubit>>& edges() const { return edges_; }
 
+  /// Edge indices (into edges()) parallel to neighbors(q): the k-th entry
+  /// is the index of the edge {q, neighbors(q)[k]}. Lets hot loops key
+  /// per-edge scratch by a compact O(E) id instead of an O(V^2) pair key.
+  std::span<const int> incident_edge_ids(Qubit q) const;
+
   /// Shortest-path hop count between a and b; kInfDistance if unreachable.
-  /// First call after a mutation computes the full BFS matrix (O(V·E)).
+  /// Resolved through oracle() — prefer caching oracle() in loops.
   int distance(Qubit a, Qubit b) const;
+
+  /// The distance backend for this graph, built on first use according to
+  /// the distance policy. Hot consumers cache this reference and query it
+  /// directly. Invalidated by add_edge()/set_distance_policy().
+  const DistanceOracle& oracle() const;
+
+  /// Builds the oracle (and any eager tables) now. Call once, while the
+  /// graph is still owned by a single thread, before sharing it with
+  /// concurrent readers — this replaces the old `distance(0, 0)` pre-warm
+  /// idiom. Safe to call repeatedly; a no-op once built.
+  void prepare() const;
+
+  /// Steady-state memory bound of the distance backend in bytes (builds
+  /// the oracle if needed). Dense: the V^2 matrix; on-demand: CSR +
+  /// landmark table + row-cache budget. The serve inline-device memo
+  /// accounts with this.
+  std::size_t distance_footprint_bytes() const;
+
+  /// Per-graph policy override; kInherit (the default) defers to the
+  /// process-wide policy. Resets an already-built oracle.
+  void set_distance_policy(DistancePolicy policy);
+  DistancePolicy distance_policy() const { return policy_; }
 
   /// True when every qubit can reach every other qubit.
   bool is_fully_connected() const;
@@ -57,20 +119,25 @@ class CouplingGraph {
   /// Content-addressed 64-bit fingerprint over qubit count, the edge set
   /// (endpoint-normalized and sorted, so add_edge order is irrelevant) and
   /// coordinates. Deterministic across runs — no pointers or hash-table
-  /// iteration order involved.
+  /// iteration order involved. The distance policy is deliberately
+  /// excluded: it changes how distances are computed, never their values.
   std::uint64_t fingerprint() const;
 
  private:
   void check_qubit(Qubit q) const;
-  void ensure_distances() const;
+  const DistanceOracle& build_oracle() const;
 
   int num_qubits_;
   std::vector<std::vector<Qubit>> adjacency_;
+  std::vector<std::vector<int>> adjacency_edge_ids_;
   std::vector<std::pair<Qubit, Qubit>> edges_;
   std::vector<Coordinate> coords_;
-  // Lazily computed BFS distance matrix, invalidated by add_edge.
-  mutable std::vector<int> dist_;
-  mutable bool dist_valid_ = false;
+  DistancePolicy policy_ = DistancePolicy::kInherit;
+  // Lazily built distance backend, invalidated by mutation and shared
+  // across copies. Mutation and first use must be single-threaded
+  // (prepare() before sharing); after that every backend supports
+  // concurrent readers.
+  mutable std::shared_ptr<const DistanceOracle> oracle_;
 };
 
 }  // namespace codar::arch

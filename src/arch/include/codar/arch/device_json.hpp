@@ -11,10 +11,11 @@
 //
 //   {
 //     "name": "IBM Q20 Tokyo",            // optional display name
-//     "qubits": 20,                       // required, 1..4096 (the cap
-//                                         //   bounds the O(V^2) distance
-//                                         //   matrix; devices arrive on
-//                                         //   untrusted serve requests)
+//     "qubits": 20,                       // required, 1..65536 (devices
+//                                         //   arrive on untrusted serve
+//                                         //   requests; large ones use the
+//                                         //   bounded on-demand oracle,
+//                                         //   not an O(V^2) matrix)
 //     "edges": [[0, 1], [1, 2], ...],     // required coupler list
 //     "coordinates": [[0, 0], ...],       // optional, one [row, col]/qubit
 //     "durations": {                      // optional kind-level overrides

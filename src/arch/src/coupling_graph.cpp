@@ -1,8 +1,8 @@
 #include "codar/arch/coupling_graph.hpp"
 
 #include <algorithm>
-#include <deque>
 
+#include "codar/arch/distance_oracle.hpp"
 #include "codar/common/fnv.hpp"
 
 namespace codar::arch {
@@ -10,6 +10,35 @@ namespace codar::arch {
 CouplingGraph::CouplingGraph(int num_qubits) : num_qubits_(num_qubits) {
   CODAR_EXPECTS(num_qubits > 0);
   adjacency_.resize(static_cast<std::size_t>(num_qubits));
+  adjacency_edge_ids_.resize(static_cast<std::size_t>(num_qubits));
+}
+
+CouplingGraph::~CouplingGraph() = default;
+CouplingGraph::CouplingGraph(CouplingGraph&&) noexcept = default;
+CouplingGraph& CouplingGraph::operator=(CouplingGraph&&) noexcept = default;
+
+CouplingGraph::CouplingGraph(const CouplingGraph& other)
+    : num_qubits_(other.num_qubits_),
+      adjacency_(other.adjacency_),
+      adjacency_edge_ids_(other.adjacency_edge_ids_),
+      edges_(other.edges_),
+      coords_(other.coords_),
+      policy_(other.policy_),
+      oracle_(other.oracle_) {
+  // Sharing the (immutable) oracle is sound because both sides describe
+  // the same structure; add_edge()/set_distance_policy() detach by reset.
+}
+
+CouplingGraph& CouplingGraph::operator=(const CouplingGraph& other) {
+  if (this == &other) return *this;
+  num_qubits_ = other.num_qubits_;
+  adjacency_ = other.adjacency_;
+  adjacency_edge_ids_ = other.adjacency_edge_ids_;
+  edges_ = other.edges_;
+  coords_ = other.coords_;
+  policy_ = other.policy_;
+  oracle_ = other.oracle_;
+  return *this;
 }
 
 void CouplingGraph::check_qubit(Qubit q) const {
@@ -21,10 +50,13 @@ void CouplingGraph::add_edge(Qubit a, Qubit b) {
   check_qubit(b);
   CODAR_EXPECTS(a != b);
   CODAR_EXPECTS(!connected(a, b));
+  const int edge_id = static_cast<int>(edges_.size());
   adjacency_[static_cast<std::size_t>(a)].push_back(b);
   adjacency_[static_cast<std::size_t>(b)].push_back(a);
+  adjacency_edge_ids_[static_cast<std::size_t>(a)].push_back(edge_id);
+  adjacency_edge_ids_[static_cast<std::size_t>(b)].push_back(edge_id);
   edges_.emplace_back(std::min(a, b), std::max(a, b));
-  dist_valid_ = false;
+  oracle_.reset();
 }
 
 bool CouplingGraph::connected(Qubit a, Qubit b) const {
@@ -39,43 +71,48 @@ const std::vector<Qubit>& CouplingGraph::neighbors(Qubit q) const {
   return adjacency_[static_cast<std::size_t>(q)];
 }
 
-void CouplingGraph::ensure_distances() const {
-  if (dist_valid_) return;
-  const auto n = static_cast<std::size_t>(num_qubits_);
-  dist_.assign(n * n, kInfDistance);
-  std::deque<Qubit> queue;
-  for (std::size_t src = 0; src < n; ++src) {
-    int* row = dist_.data() + src * n;
-    row[src] = 0;
-    queue.clear();
-    queue.push_back(static_cast<Qubit>(src));
-    while (!queue.empty()) {
-      const Qubit u = queue.front();
-      queue.pop_front();
-      for (const Qubit v : adjacency_[static_cast<std::size_t>(u)]) {
-        if (row[static_cast<std::size_t>(v)] == kInfDistance) {
-          row[static_cast<std::size_t>(v)] =
-              row[static_cast<std::size_t>(u)] + 1;
-          queue.push_back(v);
-        }
-      }
-    }
-  }
-  dist_valid_ = true;
+std::span<const int> CouplingGraph::incident_edge_ids(Qubit q) const {
+  check_qubit(q);
+  return adjacency_edge_ids_[static_cast<std::size_t>(q)];
+}
+
+const DistanceOracle& CouplingGraph::build_oracle() const {
+  oracle_ = make_distance_oracle(*this, policy_);
+  return *oracle_;
+}
+
+const DistanceOracle& CouplingGraph::oracle() const {
+  if (oracle_) return *oracle_;
+  return build_oracle();
+}
+
+void CouplingGraph::prepare() const {
+  // Both backends build their tables eagerly at construction, so forcing
+  // the oracle into existence is all the pre-warm there is.
+  (void)oracle();
+}
+
+std::size_t CouplingGraph::distance_footprint_bytes() const {
+  return oracle().footprint_bytes();
+}
+
+void CouplingGraph::set_distance_policy(DistancePolicy policy) {
+  policy_ = policy;
+  oracle_.reset();
 }
 
 int CouplingGraph::distance(Qubit a, Qubit b) const {
   check_qubit(a);
   check_qubit(b);
-  ensure_distances();
-  return dist_[static_cast<std::size_t>(a) *
-                   static_cast<std::size_t>(num_qubits_) +
-               static_cast<std::size_t>(b)];
+  return oracle().distance(a, b);
 }
 
 bool CouplingGraph::is_fully_connected() const {
+  // One BFS row answers this for every backend (the on-demand oracle
+  // caches the source-0 row; dense reads the matrix).
+  const DistanceOracle& d = oracle();
   for (Qubit q = 1; q < num_qubits_; ++q) {
-    if (distance(0, q) >= kInfDistance) return false;
+    if (d.distance(0, q) >= kInfDistance) return false;
   }
   return true;
 }

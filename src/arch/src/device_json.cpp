@@ -266,11 +266,12 @@ Device device_from_json(const Json& doc) {
   const Json* qubits = doc.find("qubits");
   if (!qubits) bad("missing required key 'qubits'");
   const long long n = require_int(*qubits, "'qubits'");
-  // The cap bounds the all-pairs BFS distance matrix (O(V^2) ints, 64 MiB
-  // at 4096) that routing pre-warms — device descriptions reach the serve
-  // process from untrusted request lines, so a huge 'qubits' must not be
-  // able to OOM it.
-  if (n < 1 || n > 4096) bad("'qubits' must be in [1, 4096]");
+  // Device descriptions reach the serve process from untrusted request
+  // lines, so a huge 'qubits' must not be able to OOM it. Devices above
+  // kDenseOracleMaxQubits get the byte-budgeted on-demand distance backend
+  // (O(E) + a bounded row cache, not an O(V^2) matrix), which is what
+  // makes this cap 65536 rather than the old matrix-bound 4096.
+  if (n < 1 || n > 65536) bad("'qubits' must be in [1, 65536]");
 
   std::string display_name = "json device";
   if (const Json* name = doc.find("name")) {

@@ -5,6 +5,7 @@
 #include <queue>
 #include <unordered_set>
 
+#include "codar/arch/distance_oracle.hpp"
 #include "codar/ir/dag.hpp"
 #include "codar/ir/decompose.hpp"
 
@@ -78,7 +79,10 @@ class LayerSearch {
  public:
   LayerSearch(const arch::Device& device, const AstarConfig& config,
               std::vector<std::pair<Qubit, Qubit>> targets)
-      : device_(device), config_(config), targets_(std::move(targets)) {}
+      : device_(device),
+        config_(config),
+        dist_(device.graph.oracle()),
+        targets_(std::move(targets)) {}
 
   /// Runs A* from `start`; appends the chosen SWAPs (in order) to `out`
   /// and returns the goal layout, or nullopt when the expansion cap is hit
@@ -135,11 +139,14 @@ class LayerSearch {
 
   /// Admissible-ish remaining-work estimate: each unsatisfied pair still
   /// needs at least D-1 SWAPs (a SWAP shortens one pair by at most 1).
+  /// Uses the oracle's lower_bound: exact on the dense and plain on-demand
+  /// backends, a cheap landmark (ALT) bound under --distance-oracle
+  /// landmark — still admissible either way, so solutions stay optimal
+  /// within the expansion budget.
   double heuristic(const Layout& layout) const {
     double h = 0.0;
     for (const auto& [la, lb] : targets_) {
-      const int d =
-          device_.graph.distance(layout.physical(la), layout.physical(lb));
+      const int d = dist_.lower_bound(layout.physical(la), layout.physical(lb));
       h += std::max(0, d - 1);
     }
     return h;
@@ -179,6 +186,7 @@ class LayerSearch {
 
   const arch::Device& device_;
   const AstarConfig& config_;
+  const arch::DistanceOracle& dist_;  ///< Cached distance backend.
   std::vector<std::pair<Qubit, Qubit>> targets_;
   std::vector<Node> arena_;
 };
@@ -202,6 +210,9 @@ RoutingResult AstarRouter::route(const ir::Circuit& circuit,
   Layout layout = initial;
   ir::Circuit out(device_.graph.num_qubits(), circuit.name() + "_astar");
   core::RouterStats stats;
+  // The greedy fallback steps along exact shortest paths, so it queries
+  // distance() (not lower_bound()) through a cached oracle reference.
+  const arch::DistanceOracle& dist = device_.graph.oracle();
 
   // Greedy per-gate fallback: bring one pair together along a shortest
   // path and emit the gate immediately, so later movement cannot break it.
@@ -213,8 +224,8 @@ RoutingResult AstarRouter::route(const ir::Circuit& circuit,
         const Qubit pb = layout.physical(g.qubit(1));
         Qubit step = -1;
         for (const Qubit nb : device_.graph.neighbors(pa)) {
-          if (step < 0 || device_.graph.distance(nb, pb) <
-                              device_.graph.distance(step, pb)) {
+          if (step < 0 ||
+              dist.distance(nb, pb) < dist.distance(step, pb)) {
             step = nb;
           }
         }

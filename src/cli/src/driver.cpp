@@ -25,10 +25,9 @@ std::vector<RouteReport> run_batch(
                     : static_cast<int>(std::thread::hardware_concurrency());
   threads = std::clamp<int>(threads, 1, static_cast<int>(jobs.size()));
 
-  // The graph's all-pairs distance matrix is computed lazily on first use;
-  // force it now, while still single-threaded, so the workers below only
-  // ever read it.
-  device.graph.distance(0, 0);
+  // The distance oracle is built lazily on first use; build it now, while
+  // still single-threaded, so the workers below only ever read it.
+  device.graph.prepare();
 
   // Work stealing off one atomic counter; each worker routes with its own
   // router instance (constructed inside route_circuit), so concurrent jobs

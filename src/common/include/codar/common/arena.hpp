@@ -1,0 +1,117 @@
+#pragma once
+
+// A monotonic bump arena plus a std-compatible allocator over it. Used by
+// the CODAR router's per-circuit scratch structures: one thread-local
+// arena is reset (not freed) between route() calls, so routing a batch of
+// circuits on a large device performs a handful of malloc calls total
+// instead of re-growing a dozen vectors per circuit.
+//
+// Semantics: allocate() bumps within the current block, chaining in a new
+// doubled block when full; deallocate() is a no-op — memory is reclaimed
+// wholesale by reset(), which retains the blocks for reuse. Containers
+// using ArenaAllocator must therefore not outlive the next reset() of
+// their arena, and arenas are single-threaded by design (the router keeps
+// one per thread).
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "codar/common/expects.hpp"
+
+namespace codar::common {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t first_block_bytes = 1u << 16)
+      : first_block_bytes_(first_block_bytes) {
+    CODAR_EXPECTS(first_block_bytes > 0);
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocates `bytes` aligned to `alignment` (a power of two).
+  void* allocate(std::size_t bytes, std::size_t alignment) {
+    CODAR_EXPECTS(alignment > 0 && (alignment & (alignment - 1)) == 0);
+    for (;;) {
+      if (current_ < blocks_.size()) {
+        Block& block = blocks_[current_];
+        const std::uintptr_t base =
+            reinterpret_cast<std::uintptr_t>(block.data.get());
+        const std::uintptr_t aligned =
+            (base + offset_ + alignment - 1) & ~(alignment - 1);
+        const std::size_t new_offset = (aligned - base) + bytes;
+        if (new_offset <= block.size) {
+          offset_ = new_offset;
+          return reinterpret_cast<void*>(aligned);
+        }
+        // Block exhausted: move on (a retained block from a previous
+        // generation may already be big enough).
+        ++current_;
+        offset_ = 0;
+        continue;
+      }
+      // Need a fresh block: double the last size until the request fits,
+      // so any route's worst case costs O(log size) mallocs ever.
+      std::size_t size =
+          blocks_.empty() ? first_block_bytes_ : blocks_.back().size * 2;
+      while (size < bytes + alignment) size *= 2;
+      blocks_.push_back(Block{std::make_unique<std::byte[]>(size), size});
+      reserved_ += size;
+    }
+  }
+
+  /// Makes every byte reusable again without releasing the blocks.
+  void reset() {
+    current_ = 0;
+    offset_ = 0;
+  }
+
+  /// Total bytes held across all blocks (diagnostics).
+  std::size_t bytes_reserved() const { return reserved_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  std::size_t first_block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;  ///< Block currently bumped into.
+  std::size_t offset_ = 0;   ///< Bump offset within that block.
+  std::size_t reserved_ = 0;
+};
+
+/// Minimal std::allocator-compatible handle over an Arena.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena& arena) : arena_(&arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) {}  // reclaimed wholesale by reset()
+
+  Arena* arena() const { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ == b.arena_;
+  }
+
+ private:
+  Arena* arena_;
+};
+
+/// A vector whose storage lives in an Arena.
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace codar::common

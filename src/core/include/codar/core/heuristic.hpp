@@ -6,12 +6,18 @@
 // gates (Eq. 1); H_fine breaks ties on 2-D lattices by preferring mappings
 // whose horizontal and vertical distances are balanced, which preserves
 // more shortest routing paths (Eq. 2).
+//
+// Distance terms resolve through the graph's DistanceOracle; the hot-path
+// overloads take the oracle directly so the router can cache one reference
+// instead of re-resolving it per candidate.
 
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <utility>
 
 #include "codar/arch/coupling_graph.hpp"
+#include "codar/arch/distance_oracle.hpp"
 
 namespace codar::core {
 
@@ -28,6 +34,18 @@ struct SwapCandidate {
 /// Physical endpoints of one two-qubit CF gate under the current π.
 using GateEndpoints = std::pair<Qubit, Qubit>;
 
+/// a + b clamped to the int64 range instead of wrapping. H_basic sums
+/// distance terms over the whole CF set, and disconnected devices
+/// contribute kInfDistance-sized terms — saturation keeps the accumulator
+/// ordered (and defined) no matter how many such terms pile up.
+constexpr std::int64_t saturating_add(std::int64_t a, std::int64_t b) {
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  if (b > 0 && a > kMax - b) return kMax;
+  if (b < 0 && a < kMin - b) return kMin;
+  return a + b;
+}
+
 /// Lexicographic priority ⟨H_basic, H_fine⟩: basic compared first, fine
 /// only on ties.
 struct SwapPriority {
@@ -42,7 +60,9 @@ struct SwapPriority {
 };
 
 /// H_basic (Eq. 1): Σ_g [ D(π(g)) − D(π∘swap(g)) ] over the CF two-qubit
-/// gates. Positive = the SWAP brings gates closer overall.
+/// gates (saturating). Positive = the SWAP brings gates closer overall.
+std::int64_t h_basic(std::span<const GateEndpoints> cf_gates,
+                     const arch::DistanceOracle& dist, SwapCandidate swap);
 std::int64_t h_basic(std::span<const GateEndpoints> cf_gates,
                      const arch::CouplingGraph& graph, SwapCandidate swap);
 
@@ -68,7 +88,12 @@ std::int64_t h_fine_delta(std::span<const GateEndpoints> cf_gates,
                           SwapCandidate swap);
 
 /// ⟨H_basic, H_fine − base⟩: ordering-equivalent to swap_priority among
-/// candidates under one mapping (see h_fine_delta).
+/// candidates under one mapping (see h_fine_delta). The oracle overload is
+/// the router's hot path; the graph overload resolves graph.oracle().
+SwapPriority swap_priority_delta(std::span<const GateEndpoints> cf_gates,
+                                 const arch::DistanceOracle& dist,
+                                 const arch::CouplingGraph& graph,
+                                 SwapCandidate swap, bool use_fine = true);
 SwapPriority swap_priority_delta(std::span<const GateEndpoints> cf_gates,
                                  const arch::CouplingGraph& graph,
                                  SwapCandidate swap, bool use_fine = true);

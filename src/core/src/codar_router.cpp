@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "codar/arch/distance_oracle.hpp"
+#include "codar/common/arena.hpp"
 #include "codar/core/front.hpp"
 #include "codar/core/heuristic.hpp"
 #include "codar/core/qubit_lock.hpp"
@@ -33,9 +35,11 @@ constexpr std::size_t kMaxIterations = 50'000'000;
 class RoutingRun {
  public:
   RoutingRun(const arch::Device& device, const CodarConfig& config,
-             const ir::Circuit& input, const layout::Layout& initial)
+             const ir::Circuit& input, const layout::Layout& initial,
+             common::Arena& arena)
       : device_(device),
         config_(config),
+        dist_(device.graph.oracle()),
         gates_(input.gates().begin(), input.gates().end()),
         barriers_(input.barrier_count()),
         front_(gates_, config.front_window, config.commutativity_aware),
@@ -43,11 +47,16 @@ class RoutingRun {
         initial_(initial),
         locks_(device.graph.num_qubits()),
         out_(device.graph.num_qubits(), input.name() + "_codar"),
-        edge_seen_(static_cast<std::size_t>(device.graph.num_qubits()) *
-                       static_cast<std::size_t>(device.graph.num_qubits()),
-                   0),
-        qubit_marked_(static_cast<std::size_t>(device.graph.num_qubits()), 0) {
-  }
+        pass_scratch_(common::ArenaAllocator<int>(arena)),
+        phys_scratch_(common::ArenaAllocator<Qubit>(arena)),
+        blocked_scratch_(common::ArenaAllocator<int>(arena)),
+        cand_scratch_(common::ArenaAllocator<SwapCandidate>(arena)),
+        prio_scratch_(common::ArenaAllocator<SwapPriority>(arena)),
+        endpoints_scratch_(common::ArenaAllocator<GateEndpoints>(arena)),
+        edge_seen_(device.graph.num_edges(), 0,
+                   common::ArenaAllocator<std::uint32_t>(arena)),
+        qubit_marked_(static_cast<std::size_t>(device.graph.num_qubits()), 0,
+                      common::ArenaAllocator<std::uint32_t>(arena)) {}
 
   RoutingResult run() {
     std::size_t iterations = 0;
@@ -161,26 +170,25 @@ class RoutingRun {
   /// Candidate SWAPs into cand_scratch_: edges adjacent to the physical
   /// qubits of blocked CF gates; with context awareness only lock-free
   /// edges qualify. First-occurrence order, deduplicated by a stamped
-  /// edge-id table instead of a linear find.
+  /// table keyed on the graph's compact edge ids — O(E) scratch, so the
+  /// table stays small even on 65536-qubit devices.
   void build_candidates(bool filter_locks) {
     cand_scratch_.clear();
     ++edge_stamp_;
-    const auto num_qubits =
-        static_cast<std::size_t>(device_.graph.num_qubits());
     for (const int gi : blocked_scratch_) {
       const Gate& g = gates_[static_cast<std::size_t>(gi)];
       for (int i = 0; i < 2; ++i) {
         const Qubit p = pi_.physical(g.qubit(i));
         if (filter_locks && !locks_.is_free(p, now_)) continue;
-        for (const Qubit nb : device_.graph.neighbors(p)) {
+        const auto& nbs = device_.graph.neighbors(p);
+        const std::span<const int> edge_ids = device_.graph.incident_edge_ids(p);
+        for (std::size_t k = 0; k < nbs.size(); ++k) {
+          const Qubit nb = nbs[k];
           if (filter_locks && !locks_.is_free(nb, now_)) continue;
-          const SwapCandidate cand{std::min(p, nb), std::max(p, nb)};
-          const std::size_t edge_id =
-              static_cast<std::size_t>(cand.a) * num_qubits +
-              static_cast<std::size_t>(cand.b);
+          const auto edge_id = static_cast<std::size_t>(edge_ids[k]);
           if (edge_seen_[edge_id] == edge_stamp_) continue;
           edge_seen_[edge_id] = edge_stamp_;
-          cand_scratch_.push_back(cand);
+          cand_scratch_.push_back(SwapCandidate{std::min(p, nb), std::max(p, nb)});
         }
       }
     }
@@ -239,7 +247,7 @@ class RoutingRun {
       if (qubit_marked_[static_cast<std::size_t>(c.a)] == qubit_stamp_ ||
           qubit_marked_[static_cast<std::size_t>(c.b)] == qubit_stamp_) {
         prio_scratch_[i] = swap_priority_delta(
-            endpoints_scratch_, device_.graph, c, config_.fine_priority);
+            endpoints_scratch_, dist_, device_.graph, c, config_.fine_priority);
       }
     }
   }
@@ -267,7 +275,8 @@ class RoutingRun {
     prio_scratch_.clear();
     for (const SwapCandidate& cand : cand_scratch_) {
       prio_scratch_.push_back(swap_priority_delta(
-          endpoints_scratch_, device_.graph, cand, config_.fine_priority));
+          endpoints_scratch_, dist_, device_.graph, cand,
+          config_.fine_priority));
     }
     bool inserted_any = false;
     while (!cand_scratch_.empty()) {
@@ -317,7 +326,7 @@ class RoutingRun {
     SwapPriority best_priority;
     for (std::size_t i = 0; i < cand_scratch_.size(); ++i) {
       const SwapPriority p =
-          swap_priority_delta(endpoints_scratch_, device_.graph,
+          swap_priority_delta(endpoints_scratch_, dist_, device_.graph,
                               cand_scratch_[i], config_.fine_priority);
       if (i == 0 || p > best_priority) {
         best = i;
@@ -337,8 +346,7 @@ class RoutingRun {
     const Qubit pb = pi_.physical(g.qubit(1));
     Qubit step = -1;
     for (const Qubit nb : device_.graph.neighbors(pa)) {
-      if (step < 0 ||
-          device_.graph.distance(nb, pb) < device_.graph.distance(step, pb)) {
+      if (step < 0 || dist_.distance(nb, pb) < dist_.distance(step, pb)) {
         step = nb;
       }
     }
@@ -360,6 +368,7 @@ class RoutingRun {
 
   const arch::Device& device_;
   const CodarConfig& config_;
+  const arch::DistanceOracle& dist_;  ///< Cached distance backend.
 
   std::vector<Gate> gates_;
   std::size_t barriers_;  ///< Barrier fences in the input (stat reporting).
@@ -371,16 +380,18 @@ class RoutingRun {
   ir::Circuit out_;
   RouterStats stats_;
 
-  // Reused scratch buffers — the hot loop allocates nothing after warm-up.
-  std::vector<int> pass_scratch_;             ///< Front snapshot per launch pass.
-  std::vector<Qubit> phys_scratch_;           ///< Physical operands of one gate.
-  std::vector<int> blocked_scratch_;          ///< Blocked CF gate indices.
-  std::vector<SwapCandidate> cand_scratch_;   ///< Candidate SWAP edges.
-  std::vector<SwapPriority> prio_scratch_;    ///< Cached candidate priorities.
-  std::vector<GateEndpoints> endpoints_scratch_;  ///< CF 2q gates under π.
-  std::vector<std::uint32_t> edge_seen_;      ///< Edge-id dedup stamps.
+  // Reused scratch buffers, bump-allocated from the per-thread arena — the
+  // hot loop allocates nothing after warm-up, and the arena's blocks are
+  // recycled wholesale across route() calls.
+  common::ArenaVector<int> pass_scratch_;     ///< Front snapshot per launch pass.
+  common::ArenaVector<Qubit> phys_scratch_;   ///< Physical operands of one gate.
+  common::ArenaVector<int> blocked_scratch_;  ///< Blocked CF gate indices.
+  common::ArenaVector<SwapCandidate> cand_scratch_;  ///< Candidate SWAP edges.
+  common::ArenaVector<SwapPriority> prio_scratch_;   ///< Cached priorities.
+  common::ArenaVector<GateEndpoints> endpoints_scratch_;  ///< CF 2q under π.
+  common::ArenaVector<std::uint32_t> edge_seen_;  ///< Edge-id dedup stamps.
   std::uint32_t edge_stamp_ = 0;
-  std::vector<std::uint32_t> qubit_marked_;   ///< Re-price marks per qubit.
+  common::ArenaVector<std::uint32_t> qubit_marked_;  ///< Re-price marks.
   std::uint32_t qubit_stamp_ = 0;
 
   SwapCandidate last_forced_{};
@@ -408,7 +419,11 @@ RoutingResult CodarRouter::route(const ir::Circuit& circuit,
   CODAR_EXPECTS(circuit.num_qubits() <= device_.graph.num_qubits());
   CODAR_EXPECTS(initial.num_logical() == circuit.num_qubits());
   CODAR_EXPECTS(initial.num_physical() == device_.graph.num_qubits());
-  RoutingRun run(device_, config_, circuit, initial);
+  // One arena per thread, recycled between invocations: scratch memory for
+  // a batch of circuits is allocated once, however large the device.
+  thread_local common::Arena arena;
+  arena.reset();
+  RoutingRun run(device_, config_, circuit, initial, arena);
   return run.run();
 }
 

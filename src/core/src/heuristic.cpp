@@ -16,15 +16,38 @@ Qubit transpose(Qubit p, SwapCandidate swap) {
 }  // namespace
 
 std::int64_t h_basic(std::span<const GateEndpoints> cf_gates,
-                     const arch::CouplingGraph& graph, SwapCandidate swap) {
+                     const arch::DistanceOracle& dist, SwapCandidate swap) {
   std::int64_t total = 0;
+  // Dense fast path: read the flat matrix directly instead of paying a
+  // virtual call per lookup — this is the router's innermost loop.
+  if (const int* m = dist.dense_matrix()) {
+    const std::size_t n = dist.dense_stride();
+    for (const auto& [pa, pb] : cf_gates) {
+      const Qubit na = transpose(pa, swap);
+      const Qubit nb = transpose(pb, swap);
+      if (na == pa && nb == pb) continue;  // unaffected gate contributes 0
+      total = saturating_add(
+          total, m[static_cast<std::size_t>(pa) * n +
+                   static_cast<std::size_t>(pb)] -
+                     m[static_cast<std::size_t>(na) * n +
+                       static_cast<std::size_t>(nb)]);
+    }
+    return total;
+  }
   for (const auto& [pa, pb] : cf_gates) {
     const Qubit na = transpose(pa, swap);
     const Qubit nb = transpose(pb, swap);
     if (na == pa && nb == pb) continue;  // unaffected gate contributes 0
-    total += graph.distance(pa, pb) - graph.distance(na, nb);
+    // Each term is at most ±kInfDistance; the saturating accumulator keeps
+    // the sum ordered even when a disconnected device stacks many of them.
+    total = saturating_add(total, dist.distance(pa, pb) - dist.distance(na, nb));
   }
   return total;
+}
+
+std::int64_t h_basic(std::span<const GateEndpoints> cf_gates,
+                     const arch::CouplingGraph& graph, SwapCandidate swap) {
+  return h_basic(cf_gates, graph.oracle(), swap);
 }
 
 std::int64_t h_fine(std::span<const GateEndpoints> cf_gates,
@@ -70,12 +93,19 @@ std::int64_t h_fine_delta(std::span<const GateEndpoints> cf_gates,
 }
 
 SwapPriority swap_priority_delta(std::span<const GateEndpoints> cf_gates,
+                                 const arch::DistanceOracle& dist,
                                  const arch::CouplingGraph& graph,
                                  SwapCandidate swap, bool use_fine) {
   SwapPriority p;
-  p.basic = h_basic(cf_gates, graph, swap);
+  p.basic = h_basic(cf_gates, dist, swap);
   p.fine = use_fine ? h_fine_delta(cf_gates, graph, swap) : 0;
   return p;
+}
+
+SwapPriority swap_priority_delta(std::span<const GateEndpoints> cf_gates,
+                                 const arch::CouplingGraph& graph,
+                                 SwapCandidate swap, bool use_fine) {
+  return swap_priority_delta(cf_gates, graph.oracle(), graph, swap, use_fine);
 }
 
 }  // namespace codar::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "codar/arch/distance_oracle.hpp"
 #include "codar/common/rng.hpp"
 
 namespace codar::layout {
@@ -41,10 +42,11 @@ std::int64_t InteractionGraph::degree(Qubit q) const {
 std::int64_t mapping_cost(const InteractionGraph& interactions,
                           const arch::CouplingGraph& coupling,
                           const Layout& layout) {
+  const arch::DistanceOracle& dist = coupling.oracle();
   std::int64_t cost = 0;
   for (const auto& [a, b] : interactions.pairs()) {
     cost += interactions.weight(a, b) *
-            coupling.distance(layout.physical(a), layout.physical(b));
+            dist.distance(layout.physical(a), layout.physical(b));
   }
   return cost;
 }
@@ -55,6 +57,7 @@ Layout greedy_interaction_layout(const ir::Circuit& circuit,
   const int n_phys = coupling.num_qubits();
   CODAR_EXPECTS(n <= n_phys);
   const InteractionGraph interactions(circuit);
+  const arch::DistanceOracle& dist = coupling.oracle();
 
   std::vector<Qubit> l2p(static_cast<std::size_t>(n), -1);
   std::vector<bool> phys_used(static_cast<std::size_t>(n_phys), false);
@@ -108,12 +111,11 @@ Layout greedy_interaction_layout(const ir::Circuit& circuit,
         if (!placed[static_cast<std::size_t>(other)]) continue;
         const std::int64_t w = interactions.weight(best_logical, other);
         if (w > 0) {
-          cost += w * coupling.distance(
-                          p, l2p[static_cast<std::size_t>(other)]);
+          cost += w * dist.distance(p, l2p[static_cast<std::size_t>(other)]);
         }
       }
       if (best_tie == 0) {
-        cost = coupling.distance(p, seed_physical);
+        cost = dist.distance(p, seed_physical);
       }
       if (best_physical < 0 || cost < best_cost) {
         best_cost = cost;

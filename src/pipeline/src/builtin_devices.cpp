@@ -75,6 +75,14 @@ void register_builtin_devices(DeviceRegistry& registry) {
                       arch::google_sycamore54));
   registry.add(preset("yorktown", "IBM Q5 bow-tie (5 qubits, unit tests)",
                       {"q5", "ibm_q5_yorktown"}, arch::ibm_q5_yorktown));
+  // The reference large device: big enough (2500 qubits) that the kAuto
+  // policy picks the on-demand distance oracle, and the scaling benchmark
+  // exercises it by name.
+  registry.add(preset("grid-50x50",
+                      "50 x 50 square lattice (2500 qubits, large-device "
+                      "reference)",
+                      {"grid50", "grid50x50"},
+                      [] { return arch::grid(50, 50); }));
 
   {
     DeviceEntry grid;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "codar/arch/distance_oracle.hpp"
 #include "codar/ir/dag.hpp"
 #include "codar/ir/decompose.hpp"
 
@@ -25,6 +26,7 @@ class SabreRun {
            const ir::Circuit& input, const layout::Layout& initial)
       : device_(device),
         config_(config),
+        dist_(device.graph.oracle()),
         input_(input),
         dag_(input),
         pi_(initial),
@@ -151,7 +153,7 @@ class SabreRun {
     };
     const Qubit pa = moved(pi_.physical(g.qubit(0)));
     const Qubit pb = moved(pi_.physical(g.qubit(1)));
-    return static_cast<double>(device_.graph.distance(pa, pb));
+    return static_cast<double>(dist_.distance(pa, pb));
   }
 
   void best_swap() {
@@ -208,8 +210,7 @@ class SabreRun {
     const Qubit pb = pi_.physical(g.qubit(1));
     Qubit step = -1;
     for (const Qubit nb : device_.graph.neighbors(pa)) {
-      if (step < 0 ||
-          device_.graph.distance(nb, pb) < device_.graph.distance(step, pb)) {
+      if (step < 0 || dist_.distance(nb, pb) < dist_.distance(step, pb)) {
         step = nb;
       }
     }
@@ -232,6 +233,7 @@ class SabreRun {
 
   const arch::Device& device_;
   const SabreConfig& config_;
+  const arch::DistanceOracle& dist_;  ///< Cached distance backend.
   const ir::Circuit& input_;
   ir::DependencyDag dag_;
   layout::Layout pi_;

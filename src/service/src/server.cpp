@@ -226,15 +226,15 @@ class Server {
         return it->second;
       }
     }
-    // Construction (including the all-pairs BFS pre-warm) runs outside
+    // Construction (including the distance-oracle pre-warm) runs outside
     // the lock so a cold lookup never stalls other workers. Two racing
     // cold lookups both build; emplace keeps the first, the loser's copy
     // is discarded — cheaper than single-flighting device construction.
     auto device =
         std::make_shared<const arch::Device>(cli::make_device(spec));
-    // Force the lazily computed all-pairs distance matrix now, while this
-    // thread holds the only reference — workers then only ever read it.
-    device->graph.distance(0, 0);
+    // Build the lazily constructed distance oracle now, while this thread
+    // holds the only reference — workers then only ever read it.
+    device->graph.prepare();
     DeviceEntry entry{device, device->fingerprint()};
     const std::lock_guard<std::mutex> lock(devices_mutex_);
     return devices_.emplace(spec, std::move(entry)).first->second;
@@ -242,8 +242,8 @@ class Server {
 
   /// Inline `device` objects are memoized by *content fingerprint* (the
   /// route-cache key), so repeated requests shipping the same calibrated
-  /// device share one pre-warmed model instead of re-running the all-pairs
-  /// BFS per request. A recalibrated device fingerprints differently and
+  /// device share one pre-warmed model instead of rebuilding the distance
+  /// oracle per request. A recalibrated device fingerprints differently and
   /// gets its own entry — it can never alias its homogeneous twin.
   DeviceEntry inline_device_for(
       const std::shared_ptr<const arch::Device>& device) {
@@ -257,12 +257,12 @@ class Server {
     }
     // Warm outside the lock: the parser built this object for this request
     // alone, so this thread still holds the only reference.
-    device->graph.distance(0, 0);
+    device->graph.prepare();
     DeviceEntry entry{device, fp};
-    // The dominant cost of a warmed device is its V^2 distance matrix.
-    const std::size_t qubits =
-        static_cast<std::size_t>(device->graph.num_qubits());
-    const std::size_t bytes = qubits * qubits * sizeof(int);
+    // The dominant cost of a warmed device is its distance backend; the
+    // oracle reports its own steady-state bound (dense: the V^2 matrix;
+    // on-demand: CSR + row-cache budget).
+    const std::size_t bytes = device->graph.distance_footprint_bytes();
     const std::lock_guard<std::mutex> lock(devices_mutex_);
     if (inline_devices_.size() >= kMaxInlineDevices ||
         inline_device_bytes_ + bytes > kMaxInlineDeviceBytes) {
@@ -317,18 +317,20 @@ class Server {
   std::size_t pending_ = 0;  ///< Enqueued but not yet responded to.
   bool done_ = false;
 
-  /// Inline-device memo bounds. The 4096-qubit schema cap bounds *one*
-  /// device's warmed distance matrix (64 MiB); these bound their *sum*,
-  /// so untrusted clients churning through distinct calibrated devices
-  /// cannot pin memory for the server's lifetime — entries for the
-  /// many-tiny-devices case, bytes for the few-huge-devices case.
+  /// Inline-device memo bounds. The distance oracle bounds *one* device's
+  /// warmed footprint (dense matrices cap at 4 MiB under the kAuto
+  /// threshold; larger devices get the byte-budgeted on-demand backend);
+  /// these bound their *sum*, so untrusted clients churning through
+  /// distinct calibrated devices cannot pin memory for the server's
+  /// lifetime — entries for the many-tiny-devices case, bytes for the
+  /// few-huge-devices case.
   static constexpr std::size_t kMaxInlineDevices = 1024;
   static constexpr std::size_t kMaxInlineDeviceBytes = 256u << 20;
 
   std::mutex devices_mutex_;
   std::unordered_map<std::string, DeviceEntry> devices_;
   std::unordered_map<std::uint64_t, DeviceEntry> inline_devices_;
-  std::size_t inline_device_bytes_ = 0;  ///< Estimated memoized matrix bytes.
+  std::size_t inline_device_bytes_ = 0;  ///< Memoized oracle footprint bytes.
 
   std::once_flag suite_once_;
   std::unordered_map<std::string, SuiteEntry> suite_index_;
@@ -400,6 +402,10 @@ service options:
                         disables caching)
       --cache-shards N  number of independently locked shards (default 8)
       --threads, -j N   worker threads (0 = hardware concurrency)
+      --distance-oracle MODE
+                        process-wide distance backend (auto | dense |
+                        on-demand | landmark); command-line only, never
+                        settable from request lines
 
 request defaults (overridable per request; same meaning as in batch mode):
   -d, --device SPEC  -r, --router NAME  --initial NAME  --seed N

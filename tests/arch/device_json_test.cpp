@@ -91,11 +91,23 @@ TEST(DeviceJson, RejectsMalformedDescriptions) {
                std::invalid_argument);  // missing edges
   EXPECT_THROW(device_from_json_text(R"({"qubits": 0, "edges": []})"),
                std::invalid_argument);
-  // The qubit cap bounds the O(V^2) BFS matrix a hostile serve request
-  // could otherwise force the server to allocate.
+  // The qubit cap bounds what a hostile serve request can force the
+  // server to allocate (large devices use the bounded on-demand oracle,
+  // so the cap is 65536, not the old matrix-bound 4096).
   EXPECT_THROW(
       device_from_json_text(R"({"qubits": 1000000, "edges": []})"),
       std::invalid_argument);
+  {
+    // A connected 65536-qubit chain parses: the cap admits devices far
+    // beyond the old 4096 matrix bound.
+    std::string big = R"({"qubits": 65536, "edges": [)";
+    for (int q = 0; q + 1 < 65536; ++q) {
+      if (q > 0) big += ',';
+      big += '[' + std::to_string(q) + ',' + std::to_string(q + 1) + ']';
+    }
+    big += "]}";
+    EXPECT_NO_THROW(device_from_json_text(big));
+  }
   EXPECT_THROW(
       device_from_json_text(R"({"qubits": 2, "edges": [[0, 2]]})"),
       std::invalid_argument);  // endpoint out of range

@@ -150,8 +150,9 @@ TEST(CliDeviceRegistry, UnknownDeviceListsRegisteredSpecs) {
   } catch (const UsageError& e) {
     EXPECT_EQ(std::string(e.what()),
               "unknown device 'melbourne' (expected "
-              "q16|tokyo|enfield|sycamore|yorktown|grid:RxC|linear:N|"
-              "ring:N|heavyhex:D|octagons:N|iontrap:N|file:PATH.json)");
+              "q16|tokyo|enfield|sycamore|yorktown|grid-50x50|grid:RxC|"
+              "linear:N|ring:N|heavyhex:D|octagons:N|iontrap:N|"
+              "file:PATH.json)");
   }
 }
 

@@ -96,5 +96,58 @@ TEST(SwapPriority, UseFineToggle) {
   EXPECT_NE(with_fine.fine, 0);
 }
 
+TEST(SaturatingAdd, OrdinarySumsAreExact) {
+  EXPECT_EQ(saturating_add(0, 0), 0);
+  EXPECT_EQ(saturating_add(3, -5), -2);
+  EXPECT_EQ(saturating_add(-7, 7), 0);
+  constexpr std::int64_t inf = arch::kInfDistance;
+  EXPECT_EQ(saturating_add(inf, inf), 2 * inf);
+}
+
+TEST(SaturatingAdd, ClampsAtTheInt64Limits) {
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  EXPECT_EQ(saturating_add(kMax, 1), kMax);
+  EXPECT_EQ(saturating_add(kMax, kMax), kMax);
+  EXPECT_EQ(saturating_add(kMin, -1), kMin);
+  EXPECT_EQ(saturating_add(kMin, kMin), kMin);
+  // Saturation stays one-sided: a negative term still subtracts.
+  EXPECT_EQ(saturating_add(kMax, -1), kMax - 1);
+  EXPECT_EQ(saturating_add(kMin, 1), kMin + 1);
+  static_assert(saturating_add(kMax, kMax) == kMax);
+  static_assert(saturating_add(kMin, kMin) == kMin);
+}
+
+// Regression: on a disconnected device the CF set can hold many gates
+// whose endpoints are unreachable from each other. Every such gate
+// contributes kInfDistance-sized terms to the H_basic accumulator; the
+// saturating add must keep the total defined and ordered instead of
+// wrapping (signed overflow is UB with a plain +=).
+TEST(HBasic, DisconnectedDeviceStaysSaturatedNotWrapped) {
+  // Two 2-qubit islands: {0-1} and {2-3}.
+  arch::CouplingGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+
+  // A cross-island gate is unreachable before AND after any SWAP, so its
+  // contribution is exactly inf - inf = 0.
+  const std::vector<GateEndpoints> cross = {{0, 2}};
+  EXPECT_EQ(h_basic(cross, g, SwapCandidate{0, 1}), 0);
+
+  // Piling up cross-island gates must not wrap the accumulator: the
+  // partial sums saturate, and the pairwise-cancelling terms still land
+  // on 0 overall (each gate's own delta is computed before accumulation).
+  const std::vector<GateEndpoints> many(100000, GateEndpoints{0, 3});
+  EXPECT_EQ(h_basic(many, g, SwapCandidate{2, 3}), 0);
+
+  // A same-island gate still produces its ordinary finite delta alongside
+  // the infinite-distance noise.
+  const std::vector<GateEndpoints> mixed = {{0, 2}, {1, 0}};
+  EXPECT_EQ(h_basic(mixed, g, SwapCandidate{0, 1}), 0);
+  // And the priority wrapper stays usable on a disconnected graph.
+  const SwapPriority p = swap_priority(mixed, g, SwapCandidate{0, 1});
+  EXPECT_EQ(p.basic, 0);
+}
+
 }  // namespace
 }  // namespace codar::core
