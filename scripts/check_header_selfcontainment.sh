@@ -13,6 +13,14 @@ cd "$(dirname "$0")/.."
 
 CXX="${1:-${CXX:-g++}}"
 
+# Match the project warning wall (CMakeLists.txt codar_warnings): clang
+# additionally checks the codar/common/thread_annotations.hpp capability
+# annotations, so an annotation that only compiles in context fails here.
+extra_warnings=""
+if "$CXX" --version 2>/dev/null | grep -qi clang; then
+  extra_warnings="-Wthread-safety"
+fi
+
 includes=()
 for dir in src/*/include src/include; do
   [ -d "$dir" ] && includes+=("-I$dir")
@@ -28,8 +36,8 @@ while IFS= read -r header; do
   # Compile a one-line TU including the header (not the header itself, so
   # `#pragma once` is not "in main file") with the project's warning set.
   printf '#include "%s"\n' "$header" > "$probe"
-  if ! "$CXX" -std=c++20 -fsyntax-only -Wall -Wextra -Wpedantic -Werror \
-      -I. "${includes[@]}" "$probe"; then
+  if ! "$CXX" -std=c++20 -fsyntax-only -Wall -Wextra -Wpedantic -Wshadow \
+      $extra_warnings -Werror -I. "${includes[@]}" "$probe"; then
     echo "not self-contained: $header" >&2
     status=1
   fi

@@ -11,12 +11,14 @@
 // by set_distance_policy() / the process-wide default. Both return
 // identical values; only memory and latency differ.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "codar/common/thread_annotations.hpp"
 #include "codar/ir/gate.hpp"
 
 namespace codar::arch {
@@ -88,12 +90,16 @@ class CouplingGraph {
   /// The distance backend for this graph, built on first use according to
   /// the distance policy. Hot consumers cache this reference and query it
   /// directly. Invalidated by add_edge()/set_distance_policy().
+  ///
+  /// Thread-safe: concurrent first calls race benignly on one build mutex
+  /// (one thread builds, the rest wait and reuse), and every later call is
+  /// a single atomic load. Mutation is still exclusive-access only.
   const DistanceOracle& oracle() const;
 
-  /// Builds the oracle (and any eager tables) now. Call once, while the
-  /// graph is still owned by a single thread, before sharing it with
-  /// concurrent readers — this replaces the old `distance(0, 0)` pre-warm
-  /// idiom. Safe to call repeatedly; a no-op once built.
+  /// Builds the oracle (and any eager tables) now, so concurrent readers
+  /// later never even touch the build path. Safe to call repeatedly (a
+  /// no-op once built) and safe to race — prepare() is just oracle() for
+  /// its side effect.
   void prepare() const;
 
   /// Steady-state memory bound of the distance backend in bytes (builds
@@ -125,7 +131,9 @@ class CouplingGraph {
 
  private:
   void check_qubit(Qubit q) const;
-  const DistanceOracle& build_oracle() const;
+  const DistanceOracle& build_oracle() const CODAR_EXCLUDES(oracle_mutex_);
+  /// Drops the built oracle (mutation invalidates it).
+  void reset_oracle() CODAR_EXCLUDES(oracle_mutex_);
 
   int num_qubits_;
   std::vector<std::vector<Qubit>> adjacency_;
@@ -134,10 +142,16 @@ class CouplingGraph {
   std::vector<Coordinate> coords_;
   DistancePolicy policy_ = DistancePolicy::kInherit;
   // Lazily built distance backend, invalidated by mutation and shared
-  // across copies. Mutation and first use must be single-threaded
-  // (prepare() before sharing); after that every backend supports
-  // concurrent readers.
-  mutable std::shared_ptr<const DistanceOracle> oracle_;
+  // across copies. The lazy build is race-free: the first reader builds
+  // under oracle_mutex_ and publishes the raw pointer through
+  // oracle_published_ (release); every subsequent oracle() call is one
+  // acquire load, never the lock. Mutation (add_edge, set_distance_policy,
+  // assignment) still requires exclusive access to the graph — it
+  // invalidates adjacency readers regardless of the oracle.
+  mutable common::Mutex oracle_mutex_;
+  mutable std::shared_ptr<const DistanceOracle> oracle_
+      CODAR_GUARDED_BY(oracle_mutex_);
+  mutable std::atomic<const DistanceOracle*> oracle_published_{nullptr};
 };
 
 }  // namespace codar::arch

@@ -23,15 +23,15 @@ namespace codar::arch {
 /// heterogeneous per-qubit/per-edge values; all consumers query through
 /// duration()/fidelity(), so homogeneous devices behave exactly as before.
 struct Device {
-  Device(std::string name, CouplingGraph graph,
-         DurationMap durations = DurationMap(),
-         FidelityMap fidelities = FidelityMap(),
-         CalibrationTable calibration = CalibrationTable())
-      : name(std::move(name)),
-        graph(std::move(graph)),
-        durations(std::move(durations)),
-        fidelities(std::move(fidelities)),
-        calibration(std::move(calibration)) {}
+  Device(std::string device_name, CouplingGraph coupling,
+         DurationMap duration_defaults = DurationMap(),
+         FidelityMap fidelity_defaults = FidelityMap(),
+         CalibrationTable calibration_overlay = CalibrationTable())
+      : name(std::move(device_name)),
+        graph(std::move(coupling)),
+        durations(std::move(duration_defaults)),
+        fidelities(std::move(fidelity_defaults)),
+        calibration(std::move(calibration_overlay)) {}
 
   std::string name;
   CouplingGraph graph;

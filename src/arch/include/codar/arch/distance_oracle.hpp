@@ -21,17 +21,19 @@
 // adjacency), so a CouplingGraph can be moved without invalidating an
 // already-built oracle.
 //
-// Thread-safety: after CouplingGraph::prepare() every backend is safe for
-// concurrent readers — the dense matrix is immutable, and the on-demand
-// row cache serializes internally on a mutex.
+// Thread-safety: every backend is safe for concurrent readers — the dense
+// matrix is immutable, and the on-demand row cache serializes internally
+// on an annotated mutex (clang's -Wthread-safety checks the discipline).
+// CouplingGraph's lazy build is itself race-free; prepare() remains the
+// polite way to pay the build cost before fan-out rather than under it.
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "codar/arch/coupling_graph.hpp"
+#include "codar/common/thread_annotations.hpp"
 
 namespace codar::arch {
 
@@ -145,9 +147,9 @@ class OnDemandDistanceOracle final : public DistanceOracle {
 
   /// Returns the cached row for `source`, computing and possibly evicting
   /// under lock_.
-  const std::vector<int>& row_for(Qubit source) const;
-  void detach(int slot) const;
-  void push_front(int slot) const;
+  const std::vector<int>& row_for(Qubit source) const CODAR_REQUIRES(lock_);
+  void detach(int slot) const CODAR_REQUIRES(lock_);
+  void push_front(int slot) const CODAR_REQUIRES(lock_);
 
   std::size_t n_ = 0;
   std::vector<std::int32_t> csr_offsets_;  ///< V+1 prefix offsets.
@@ -158,12 +160,15 @@ class OnDemandDistanceOracle final : public DistanceOracle {
   /// after construction, so lower_bound() never takes the lock.
   std::vector<int> landmark_dist_;
 
-  mutable std::mutex lock_;
-  mutable std::vector<Row> rows_;                  ///< Slot storage.
-  mutable std::vector<int> slot_of_source_;        ///< V-sized, -1 = absent.
-  mutable int lru_head_ = -1;                      ///< Most recent.
-  mutable int lru_tail_ = -1;                      ///< Eviction victim.
-  mutable std::uint64_t row_computations_ = 0;
+  /// Serializes the mutable row-LRU below: `distance()` on a shared oracle
+  /// (graph copies share one) is called from every routing worker at once.
+  mutable common::Mutex lock_;
+  mutable std::vector<Row> rows_ CODAR_GUARDED_BY(lock_);  ///< Slot storage.
+  /// V-sized source → slot map, -1 = absent.
+  mutable std::vector<int> slot_of_source_ CODAR_GUARDED_BY(lock_);
+  mutable int lru_head_ CODAR_GUARDED_BY(lock_) = -1;  ///< Most recent.
+  mutable int lru_tail_ CODAR_GUARDED_BY(lock_) = -1;  ///< Eviction victim.
+  mutable std::uint64_t row_computations_ CODAR_GUARDED_BY(lock_) = 0;
 };
 
 /// Builds the backend `policy` resolves to for a graph of this size.

@@ -14,8 +14,47 @@ CouplingGraph::CouplingGraph(int num_qubits) : num_qubits_(num_qubits) {
 }
 
 CouplingGraph::~CouplingGraph() = default;
-CouplingGraph::CouplingGraph(CouplingGraph&&) noexcept = default;
-CouplingGraph& CouplingGraph::operator=(CouplingGraph&&) noexcept = default;
+
+CouplingGraph::CouplingGraph(CouplingGraph&& other) noexcept
+    : num_qubits_(other.num_qubits_),
+      adjacency_(std::move(other.adjacency_)),
+      adjacency_edge_ids_(std::move(other.adjacency_edge_ids_)),
+      edges_(std::move(other.edges_)),
+      coords_(std::move(other.coords_)),
+      policy_(other.policy_) {
+  // Moving requires exclusive access to both operands (the source is being
+  // destroyed-in-place; no concurrent reader may exist), so the oracle is
+  // stolen without other.oracle_mutex_. Constructors are outside the
+  // thread-safety analysis — *this is not shared yet.
+  oracle_ = std::move(other.oracle_);
+  oracle_published_.store(oracle_.get(), std::memory_order_release);
+  other.oracle_published_.store(nullptr, std::memory_order_release);
+}
+
+CouplingGraph& CouplingGraph::operator=(CouplingGraph&& other) noexcept {
+  if (this == &other) return *this;
+  num_qubits_ = other.num_qubits_;
+  adjacency_ = std::move(other.adjacency_);
+  adjacency_edge_ids_ = std::move(other.adjacency_edge_ids_);
+  edges_ = std::move(other.edges_);
+  coords_ = std::move(other.coords_);
+  policy_ = other.policy_;
+  // Assignment mutates *this, which requires exclusive access like any
+  // other mutation; the locks below only satisfy the guarded_by contract
+  // (and make the source safe to steal from while *it* is still shared).
+  std::shared_ptr<const DistanceOracle> stolen;
+  {
+    const common::MutexLock lock(other.oracle_mutex_);
+    stolen = std::move(other.oracle_);
+  }
+  other.oracle_published_.store(nullptr, std::memory_order_release);
+  {
+    const common::MutexLock lock(oracle_mutex_);
+    oracle_ = std::move(stolen);
+    oracle_published_.store(oracle_.get(), std::memory_order_release);
+  }
+  return *this;
+}
 
 CouplingGraph::CouplingGraph(const CouplingGraph& other)
     : num_qubits_(other.num_qubits_),
@@ -23,10 +62,14 @@ CouplingGraph::CouplingGraph(const CouplingGraph& other)
       adjacency_edge_ids_(other.adjacency_edge_ids_),
       edges_(other.edges_),
       coords_(other.coords_),
-      policy_(other.policy_),
-      oracle_(other.oracle_) {
+      policy_(other.policy_) {
   // Sharing the (immutable) oracle is sound because both sides describe
   // the same structure; add_edge()/set_distance_policy() detach by reset.
+  // The source may be mid-lazy-build in another thread, so its shared_ptr
+  // is read under its build mutex.
+  const common::MutexLock lock(other.oracle_mutex_);
+  oracle_ = other.oracle_;
+  oracle_published_.store(oracle_.get(), std::memory_order_release);
 }
 
 CouplingGraph& CouplingGraph::operator=(const CouplingGraph& other) {
@@ -37,7 +80,16 @@ CouplingGraph& CouplingGraph::operator=(const CouplingGraph& other) {
   edges_ = other.edges_;
   coords_ = other.coords_;
   policy_ = other.policy_;
-  oracle_ = other.oracle_;
+  std::shared_ptr<const DistanceOracle> shared;
+  {
+    const common::MutexLock lock(other.oracle_mutex_);
+    shared = other.oracle_;
+  }
+  {
+    const common::MutexLock lock(oracle_mutex_);
+    oracle_ = std::move(shared);
+    oracle_published_.store(oracle_.get(), std::memory_order_release);
+  }
   return *this;
 }
 
@@ -56,7 +108,7 @@ void CouplingGraph::add_edge(Qubit a, Qubit b) {
   adjacency_edge_ids_[static_cast<std::size_t>(a)].push_back(edge_id);
   adjacency_edge_ids_[static_cast<std::size_t>(b)].push_back(edge_id);
   edges_.emplace_back(std::min(a, b), std::max(a, b));
-  oracle_.reset();
+  reset_oracle();
 }
 
 bool CouplingGraph::connected(Qubit a, Qubit b) const {
@@ -77,12 +129,23 @@ std::span<const int> CouplingGraph::incident_edge_ids(Qubit q) const {
 }
 
 const DistanceOracle& CouplingGraph::build_oracle() const {
-  oracle_ = make_distance_oracle(*this, policy_);
+  const common::MutexLock lock(oracle_mutex_);
+  if (!oracle_) {
+    // make_distance_oracle only reads the adjacency, which cannot be
+    // mutated concurrently (mutation requires exclusive graph access), so
+    // only the build itself needs serializing. Losers of the race wait
+    // here and reuse the winner's oracle.
+    oracle_ = make_distance_oracle(*this, policy_);
+    oracle_published_.store(oracle_.get(), std::memory_order_release);
+  }
   return *oracle_;
 }
 
 const DistanceOracle& CouplingGraph::oracle() const {
-  if (oracle_) return *oracle_;
+  if (const DistanceOracle* built =
+          oracle_published_.load(std::memory_order_acquire)) {
+    return *built;
+  }
   return build_oracle();
 }
 
@@ -96,9 +159,15 @@ std::size_t CouplingGraph::distance_footprint_bytes() const {
   return oracle().footprint_bytes();
 }
 
+void CouplingGraph::reset_oracle() {
+  const common::MutexLock lock(oracle_mutex_);
+  oracle_.reset();
+  oracle_published_.store(nullptr, std::memory_order_release);
+}
+
 void CouplingGraph::set_distance_policy(DistancePolicy policy) {
   policy_ = policy;
-  oracle_.reset();
+  reset_oracle();
 }
 
 int CouplingGraph::distance(Qubit a, Qubit b) const {

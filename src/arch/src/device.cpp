@@ -11,7 +11,7 @@ Duration Device::duration(ir::GateKind kind,
   const Duration base = durations.of(kind);
   if (calibration.empty()) return base;
   const int arity = ir::gate_info(kind).num_qubits;
-  if (arity == 1 && phys.size() >= 1) {
+  if (arity == 1 && !phys.empty()) {
     if (kind == ir::GateKind::kMeasure) {
       if (const auto d = calibration.duration_readout(phys[0])) return *d;
     } else if (ir::is_unitary(kind)) {
@@ -31,7 +31,7 @@ double Device::fidelity(ir::GateKind kind,
   const double base = fidelities.of(kind);
   if (calibration.empty()) return base;
   const int arity = ir::gate_info(kind).num_qubits;
-  if (arity == 1 && phys.size() >= 1) {
+  if (arity == 1 && !phys.empty()) {
     if (kind == ir::GateKind::kMeasure) {
       if (const auto f = calibration.fidelity_readout(phys[0])) return *f;
     } else if (ir::is_unitary(kind)) {

@@ -207,7 +207,7 @@ int OnDemandDistanceOracle::distance(Qubit a, Qubit b) const {
   // normalizing doubles the row-cache hit rate.
   const Qubit src = std::min(a, b);
   const Qubit dst = std::max(a, b);
-  const std::lock_guard<std::mutex> guard(lock_);
+  const common::MutexLock guard(lock_);
   return row_for(src)[static_cast<std::size_t>(dst)];
 }
 
@@ -239,12 +239,12 @@ std::size_t OnDemandDistanceOracle::footprint_bytes() const {
 }
 
 std::size_t OnDemandDistanceOracle::rows_cached() const {
-  const std::lock_guard<std::mutex> guard(lock_);
+  const common::MutexLock guard(lock_);
   return rows_.size();
 }
 
 std::uint64_t OnDemandDistanceOracle::row_computations() const {
-  const std::lock_guard<std::mutex> guard(lock_);
+  const common::MutexLock guard(lock_);
   return row_computations_;
 }
 

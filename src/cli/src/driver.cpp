@@ -25,13 +25,17 @@ std::vector<RouteReport> run_batch(
                     : static_cast<int>(std::thread::hardware_concurrency());
   threads = std::clamp<int>(threads, 1, static_cast<int>(jobs.size()));
 
-  // The distance oracle is built lazily on first use; build it now, while
-  // still single-threaded, so the workers below only ever read it.
+  // The distance oracle is built lazily on first use. The lazy build is
+  // race-free (mutex + published atomic, see CouplingGraph::oracle()), but
+  // paying it here, while still single-threaded, keeps the build cost out
+  // of the contended fan-out below.
   device.graph.prepare();
 
   // Work stealing off one atomic counter; each worker routes with its own
-  // router instance (constructed inside route_circuit), so concurrent jobs
-  // share only the immutable device model and options.
+  // router instance (constructed inside route_circuit) and writes only its
+  // own results[i] slots, so the pool needs no mutex at all: concurrent
+  // jobs share nothing mutable but `next`, and the joins below publish the
+  // slot writes to the caller.
   std::atomic<std::size_t> next{0};
   auto worker = [&]() {
     for (;;) {

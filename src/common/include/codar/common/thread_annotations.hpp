@@ -1,0 +1,108 @@
+#pragma once
+
+// Clang thread-safety (capability) analysis support: the annotation macros
+// plus the annotated Mutex/MutexLock pair every concurrent structure in the
+// tree locks with. Under Clang the clang lanes compile with
+// -Wthread-safety -Werror, so a lock-discipline violation — touching a
+// CODAR_GUARDED_BY member without its mutex, calling a CODAR_REQUIRES
+// function unlocked, leaking a lock out of a scope — is a build break.
+// Under GCC/MSVC every macro expands to nothing and Mutex degrades to a
+// plain std::mutex wrapper with identical runtime behavior.
+//
+// libstdc++'s std::mutex / std::lock_guard carry no capability attributes,
+// which is why the wrappers exist: the analysis only tracks lock state
+// through annotated acquire/release functions. Condition variables use
+// std::condition_variable_any waiting on the Mutex directly — wait()
+// unlocks and relocks internally, so the capability is held on both sides
+// of the call and the analysis (which does not look into system headers)
+// stays consistent.
+//
+// The macro set follows the names in the Clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), prefixed.
+
+#include <mutex>
+
+#if defined(__clang__) && !defined(SWIG)
+#define CODAR_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define CODAR_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op off Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex").
+#define CODAR_CAPABILITY(x) CODAR_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Marks an RAII type that acquires in its constructor and releases in its
+/// destructor.
+#define CODAR_SCOPED_CAPABILITY \
+  CODAR_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define CODAR_GUARDED_BY(x) CODAR_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define CODAR_PT_GUARDED_BY(x) \
+  CODAR_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Function that may only be called with the listed capabilities held.
+#define CODAR_REQUIRES(...) \
+  CODAR_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the listed capabilities (held on return).
+#define CODAR_ACQUIRE(...) \
+  CODAR_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the listed capabilities (held on entry).
+#define CODAR_RELEASE(...) \
+  CODAR_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability only when returning `ret`.
+#define CODAR_TRY_ACQUIRE(...) \
+  CODAR_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// Function that must be called *without* the listed capabilities (it
+/// acquires them itself; calling it while holding one would deadlock).
+#define CODAR_EXCLUDES(...) \
+  CODAR_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Function returning a reference to the capability guarding its result.
+#define CODAR_RETURN_CAPABILITY(x) \
+  CODAR_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch — every use must carry a comment explaining why the
+/// analysis cannot see the invariant (e.g. exclusive access by contract).
+#define CODAR_NO_THREAD_SAFETY_ANALYSIS \
+  CODAR_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+namespace codar::common {
+
+/// std::mutex with capability annotations. Satisfies Lockable, so
+/// std::condition_variable_any can wait on it directly.
+class CODAR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CODAR_ACQUIRE() { m_.lock(); }
+  void unlock() CODAR_RELEASE() { m_.unlock(); }
+  bool try_lock() CODAR_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// Scoped lock over Mutex (the std::lock_guard of this codebase — the
+/// standard one is unannotated, so the analysis could not track it).
+class CODAR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CODAR_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() CODAR_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace codar::common

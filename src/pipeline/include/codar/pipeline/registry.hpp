@@ -9,6 +9,14 @@
 // The built-in passes self-register the first time a registry is used
 // (instance() runs their registration exactly once, thread-safely); user
 // code may add() further entries at startup, before concurrent use.
+//
+// Concurrency contract: registries are write-at-startup, read-after.
+// add() is NOT synchronized against concurrent resolve()/names() — the
+// serve worker pool and parallel batch driver assume the entry tables are
+// frozen by the time they fan out (which the magic-static registration
+// guarantees for the built-ins). Registering passes from a running worker
+// is a data race by contract, not a supported operation; DESIGN.md §11
+// lists the state that IS lock-protected.
 
 #include <functional>
 #include <memory>

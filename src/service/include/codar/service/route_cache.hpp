@@ -19,11 +19,11 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "codar/cli/report.hpp"
+#include "codar/common/thread_annotations.hpp"
 
 namespace codar::service {
 
@@ -84,10 +84,10 @@ class RouteCache {
 
   /// A route in progress; later requesters for the same key block on cv.
   struct Inflight {
-    std::mutex m;
-    std::condition_variable cv;
-    bool ready = false;
-    cli::RouteReport report;
+    common::Mutex m;
+    std::condition_variable_any cv;
+    bool ready CODAR_GUARDED_BY(m) = false;
+    cli::RouteReport report CODAR_GUARDED_BY(m);
   };
 
   struct KeyHash {
@@ -95,21 +95,24 @@ class RouteCache {
   };
 
   struct Shard {
-    mutable std::mutex m;
-    std::list<Entry> lru;  ///< Front = most recently used.
-    std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index;
-    std::unordered_map<CacheKey, std::shared_ptr<Inflight>, KeyHash> inflight;
-    std::size_t bytes = 0;
-    std::size_t hits = 0;
-    std::size_t misses = 0;
-    std::size_t evictions = 0;
+    mutable common::Mutex m;
+    /// Front = most recently used.
+    std::list<Entry> lru CODAR_GUARDED_BY(m);
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index
+        CODAR_GUARDED_BY(m);
+    std::unordered_map<CacheKey, std::shared_ptr<Inflight>, KeyHash> inflight
+        CODAR_GUARDED_BY(m);
+    std::size_t bytes CODAR_GUARDED_BY(m) = 0;
+    std::size_t hits CODAR_GUARDED_BY(m) = 0;
+    std::size_t misses CODAR_GUARDED_BY(m) = 0;
+    std::size_t evictions CODAR_GUARDED_BY(m) = 0;
   };
 
   Shard& shard_for(const CacheKey& key);
   const Shard& shard_for(const CacheKey& key) const;
   /// Inserts under the shard lock, then evicts LRU tails over budget.
   void insert_locked(Shard& shard, const CacheKey& key,
-                     const cli::RouteReport& report);
+                     const cli::RouteReport& report) CODAR_REQUIRES(shard.m);
 
   std::size_t byte_budget_;
   std::size_t shard_budget_;

@@ -68,7 +68,7 @@ cli::RouteReport RouteCache::get_or_route(
   if (byte_budget_ == 0) {
     Shard& shard = shard_for(key);
     {
-      const std::lock_guard<std::mutex> lock(shard.m);
+      const common::MutexLock lock(shard.m);
       ++shard.misses;
     }
     if (hit) *hit = false;
@@ -77,8 +77,9 @@ cli::RouteReport RouteCache::get_or_route(
 
   Shard& shard = shard_for(key);
   std::shared_ptr<Inflight> flight;
+  bool owner = false;
   {
-    std::unique_lock<std::mutex> lock(shard.m);
+    const common::MutexLock lock(shard.m);
     if (const auto it = shard.index.find(key); it != shard.index.end()) {
       ++shard.hits;
       ++it->second->hits;
@@ -97,41 +98,43 @@ cli::RouteReport RouteCache::get_or_route(
       flight = std::make_shared<Inflight>();
       shard.inflight.emplace(key, flight);
       ++shard.misses;
-      lock.unlock();
-
-      cli::RouteReport report;
-      try {
-        report = route();
-      } catch (const std::exception& e) {
-        report.error = e.what();
-      }
-
-      lock.lock();
-      insert_locked(shard, key, report);
-      shard.inflight.erase(key);
-      lock.unlock();
-
-      {
-        const std::lock_guard<std::mutex> flight_lock(flight->m);
-        flight->report = report;
-        flight->ready = true;
-      }
-      flight->cv.notify_all();
-      if (hit) *hit = false;
-      return report;
+      owner = true;
     }
   }
 
-  std::unique_lock<std::mutex> flight_lock(flight->m);
-  flight->cv.wait(flight_lock, [&] { return flight->ready; });
-  if (hit) *hit = true;
-  return flight->report;
+  if (!owner) {
+    const common::MutexLock flight_lock(flight->m);
+    while (!flight->ready) flight->cv.wait(flight->m);
+    if (hit) *hit = true;
+    return flight->report;
+  }
+
+  // Single-flight owner: route outside every lock, then publish.
+  cli::RouteReport report;
+  try {
+    report = route();
+  } catch (const std::exception& e) {
+    report.error = e.what();
+  }
+  {
+    const common::MutexLock lock(shard.m);
+    insert_locked(shard, key, report);
+    shard.inflight.erase(key);
+  }
+  {
+    const common::MutexLock flight_lock(flight->m);
+    flight->report = report;
+    flight->ready = true;
+  }
+  flight->cv.notify_all();
+  if (hit) *hit = false;
+  return report;
 }
 
 CacheCounters RouteCache::counters() const {
   CacheCounters total;
   for (const Shard& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard.m);
+    const common::MutexLock lock(shard.m);
     total.entries += shard.lru.size();
     total.bytes += shard.bytes;
     total.hits += shard.hits;
@@ -143,7 +146,7 @@ CacheCounters RouteCache::counters() const {
 
 std::size_t RouteCache::entry_hits(const CacheKey& key) const {
   const Shard& shard = shard_for(key);
-  const std::lock_guard<std::mutex> lock(shard.m);
+  const common::MutexLock lock(shard.m);
   const auto it = shard.index.find(key);
   return it == shard.index.end() ? 0 : it->second->hits;
 }

@@ -13,6 +13,7 @@
 #include <unordered_map>
 
 #include "codar/cli/device_registry.hpp"
+#include "codar/common/thread_annotations.hpp"
 #include "codar/cli/report.hpp"
 #include "codar/ir/circuit.hpp"
 #include "codar/qasm/parser.hpp"
@@ -76,7 +77,7 @@ class Server {
     }
 
     {
-      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      const common::MutexLock lock(queue_mutex_);
       done_ = true;
     }
     queue_ready_.notify_all();
@@ -95,11 +96,14 @@ class Server {
       return;
     }
     if (req.kind == ServeRequest::Kind::kStats) {
-      // Barrier: a stats request reports on everything enqueued before it,
-      // so drain the queue and all in-flight work first.
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      drained_.wait(lock, [this] { return pending_ == 0; });
-      lock.unlock();
+      {
+        // Barrier: a stats request reports on everything enqueued before
+        // it, so drain the queue and all in-flight work first. (Explicit
+        // wait loop, not a predicate lambda: the thread-safety analysis
+        // sees the guarded reads in this scope, where the lock is held.)
+        const common::MutexLock lock(queue_mutex_);
+        while (pending_ != 0) drained_.wait(queue_mutex_);
+      }
       write_response(stats_response(req));
       return;
     }
@@ -107,9 +111,8 @@ class Server {
     {
       // Bounded queue: when the workers fall behind, the reader blocks
       // instead of buffering all of stdin in memory.
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_space_.wait(lock,
-                        [this] { return queue_.size() < kMaxQueuedRequests; });
+      const common::MutexLock lock(queue_mutex_);
+      while (queue_.size() >= kMaxQueuedRequests) queue_space_.wait(queue_mutex_);
       ++pending_;
       queue_.push_back(std::move(req));
     }
@@ -120,8 +123,8 @@ class Server {
     for (;;) {
       ServeRequest req;
       {
-        std::unique_lock<std::mutex> lock(queue_mutex_);
-        queue_ready_.wait(lock, [this] { return !queue_.empty() || done_; });
+        const common::MutexLock lock(queue_mutex_);
+        while (queue_.empty() && !done_) queue_ready_.wait(queue_mutex_);
         if (queue_.empty()) return;
         req = std::move(queue_.front());
         queue_.pop_front();
@@ -129,7 +132,7 @@ class Server {
       queue_space_.notify_one();
       write_response(process(req));
       {
-        const std::lock_guard<std::mutex> lock(queue_mutex_);
+        const common::MutexLock lock(queue_mutex_);
         --pending_;
       }
       drained_.notify_all();
@@ -219,9 +222,9 @@ class Server {
   /// refuses local_only specs like `file:`); a `file:` *default* given on
   /// the serve command line is read once at first use, like any resident
   /// service config.
-  DeviceEntry device_for(const std::string& spec) {
+  DeviceEntry device_for(const std::string& spec) CODAR_EXCLUDES(devices_mutex_) {
     {
-      const std::lock_guard<std::mutex> lock(devices_mutex_);
+      const common::MutexLock lock(devices_mutex_);
       if (const auto it = devices_.find(spec); it != devices_.end()) {
         return it->second;
       }
@@ -236,7 +239,7 @@ class Server {
     // holds the only reference — workers then only ever read it.
     device->graph.prepare();
     DeviceEntry entry{device, device->fingerprint()};
-    const std::lock_guard<std::mutex> lock(devices_mutex_);
+    const common::MutexLock lock(devices_mutex_);
     return devices_.emplace(spec, std::move(entry)).first->second;
   }
 
@@ -245,11 +248,11 @@ class Server {
   /// device share one pre-warmed model instead of rebuilding the distance
   /// oracle per request. A recalibrated device fingerprints differently and
   /// gets its own entry — it can never alias its homogeneous twin.
-  DeviceEntry inline_device_for(
-      const std::shared_ptr<const arch::Device>& device) {
+  DeviceEntry inline_device_for(const std::shared_ptr<const arch::Device>&
+                                    device) CODAR_EXCLUDES(devices_mutex_) {
     const std::uint64_t fp = device->fingerprint();
     {
-      const std::lock_guard<std::mutex> lock(devices_mutex_);
+      const common::MutexLock lock(devices_mutex_);
       if (const auto it = inline_devices_.find(fp);
           it != inline_devices_.end()) {
         return it->second;
@@ -263,7 +266,7 @@ class Server {
     // oracle reports its own steady-state bound (dense: the V^2 matrix;
     // on-demand: CSR + row-cache budget).
     const std::size_t bytes = device->graph.distance_footprint_bytes();
-    const std::lock_guard<std::mutex> lock(devices_mutex_);
+    const common::MutexLock lock(devices_mutex_);
     if (inline_devices_.size() >= kMaxInlineDevices ||
         inline_device_bytes_ + bytes > kMaxInlineDeviceBytes) {
       // Memo full (a client churning through distinct calibrations): the
@@ -295,8 +298,8 @@ class Server {
     return it->second;
   }
 
-  void write_response(const std::string& line) {
-    const std::lock_guard<std::mutex> lock(out_mutex_);
+  void write_response(const std::string& line) CODAR_EXCLUDES(out_mutex_) {
+    const common::MutexLock lock(out_mutex_);
     out_ << line << '\n' << std::flush;
   }
 
@@ -304,18 +307,25 @@ class Server {
   RouteCache cache_;
 
   std::ostream& out_;
-  std::mutex out_mutex_;
+  /// Serializes whole response lines onto out_ (NDJSON must never
+  /// interleave). The stream itself is a reference, so the capability
+  /// covers its *use sites* rather than a guarded member.
+  common::Mutex out_mutex_;
 
   /// Backpressure bound: the reader stops ahead of the workers here.
   static constexpr std::size_t kMaxQueuedRequests = 1024;
 
-  std::mutex queue_mutex_;
-  std::condition_variable queue_ready_;
-  std::condition_variable queue_space_;
-  std::condition_variable drained_;
-  std::deque<ServeRequest> queue_;
-  std::size_t pending_ = 0;  ///< Enqueued but not yet responded to.
-  bool done_ = false;
+  common::Mutex queue_mutex_;
+  // condition_variable_any waits on the annotated Mutex directly; wait()
+  // releases and reacquires it internally, so the capability is held on
+  // both sides of the call and the analysis stays consistent.
+  std::condition_variable_any queue_ready_;
+  std::condition_variable_any queue_space_;
+  std::condition_variable_any drained_;
+  std::deque<ServeRequest> queue_ CODAR_GUARDED_BY(queue_mutex_);
+  /// Enqueued but not yet responded to.
+  std::size_t pending_ CODAR_GUARDED_BY(queue_mutex_) = 0;
+  bool done_ CODAR_GUARDED_BY(queue_mutex_) = false;
 
   /// Inline-device memo bounds. The distance oracle bounds *one* device's
   /// warmed footprint (dense matrices cap at 4 MiB under the kAuto
@@ -327,10 +337,13 @@ class Server {
   static constexpr std::size_t kMaxInlineDevices = 1024;
   static constexpr std::size_t kMaxInlineDeviceBytes = 256u << 20;
 
-  std::mutex devices_mutex_;
-  std::unordered_map<std::string, DeviceEntry> devices_;
-  std::unordered_map<std::uint64_t, DeviceEntry> inline_devices_;
-  std::size_t inline_device_bytes_ = 0;  ///< Memoized oracle footprint bytes.
+  common::Mutex devices_mutex_;
+  std::unordered_map<std::string, DeviceEntry> devices_
+      CODAR_GUARDED_BY(devices_mutex_);
+  std::unordered_map<std::uint64_t, DeviceEntry> inline_devices_
+      CODAR_GUARDED_BY(devices_mutex_);
+  /// Memoized oracle footprint bytes.
+  std::size_t inline_device_bytes_ CODAR_GUARDED_BY(devices_mutex_) = 0;
 
   std::once_flag suite_once_;
   std::unordered_map<std::string, SuiteEntry> suite_index_;

@@ -186,8 +186,8 @@ INSTANTIATE_TEST_SUITE_P(
                       FrontCase{10, 200, 0.5, 25, true, 8},
                       FrontCase{10, 200, 0.5, 25, false, 9},
                       FrontCase{5, 100, 0.3, 3, true, 10}),
-    [](const ::testing::TestParamInfo<FrontCase>& info) {
-      const FrontCase& p = info.param;
+    [](const ::testing::TestParamInfo<FrontCase>& pinfo) {
+      const FrontCase& p = pinfo.param;
       return "q" + std::to_string(p.num_qubits) + "_g" +
              std::to_string(p.num_gates) + "_w" + std::to_string(p.window) +
              (p.use_commutativity ? "_cf" : "_dag") + "_s" +

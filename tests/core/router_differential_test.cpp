@@ -112,8 +112,8 @@ INSTANTIATE_TEST_SUITE_P(
                       DiffCase{"tokyo", 16, 250, 0.4, 31},
                       DiffCase{"tokyo", 12, 180, 0.6, 32},
                       DiffCase{"linear6", 3, 60, 0.8, 33}),
-    [](const ::testing::TestParamInfo<DiffCase>& info) {
-      const DiffCase& p = info.param;
+    [](const ::testing::TestParamInfo<DiffCase>& pinfo) {
+      const DiffCase& p = pinfo.param;
       return std::string(p.device) + "_q" + std::to_string(p.num_qubits) +
              "_g" + std::to_string(p.num_gates) + "_s" +
              std::to_string(p.seed);
