@@ -3,25 +3,36 @@
 baselines and fail on any routing-quality drift.
 
 Usage:
-    check_bench_regression.py BASELINE.json CANDIDATE.json \
+    check_bench_regression.py [--allow-missing-baseline] \
+                              BASELINE.json CANDIDATE.json \
                               [BASELINE2.json CANDIDATE2.json ...]
 
-Arguments are baseline/candidate pairs, so one invocation can gate both
-BENCH_router.json (the 71-benchmark suite) and BENCH_scaling.json (the
-large-device sweep). Routing quality (swaps, makespan, cycles per
-benchmark) is deterministic, so ANY difference is a regression (or an
-improvement that must be committed deliberately by refreshing the
-baseline). Wall time is machine-dependent and stays informational: it is
-printed but never gates.
+Arguments are baseline/candidate pairs, so one invocation can gate
+BENCH_router.json (the 71-benchmark suite), BENCH_scaling.json (the
+large-device sweep) and BENCH_serve.json (the socket-serve load mixes).
+Each baseline chooses its own gated fields via a top-level
+"gated_fields" array; baselines without one gate the routing-quality
+trio (swaps, makespan, cycles). Gated fields are deterministic by
+construction, so ANY difference is a regression (or an improvement that
+must be committed deliberately by refreshing the baseline). Wall time,
+throughput and latency percentiles are machine-dependent and stay
+informational: printed, never gating.
+
+--allow-missing-baseline is the bootstrap mode for brand-new benches: a
+pair whose baseline file does not exist yet warns and passes, so CI can
+land the bench binary and its first committed baseline in one PR without
+a chicken-and-egg failure. A baseline that exists but is unreadable or
+malformed still fails hard.
 
 Exit codes: 0 = no drift, 1 = drift or benchmark set mismatch,
 2 = bad invocation / unreadable input.
 """
 
 import json
+import os
 import sys
 
-GATED_FIELDS = ("swaps", "makespan", "cycles")
+DEFAULT_GATED_FIELDS = ("swaps", "makespan", "cycles")
 
 
 def load(path):
@@ -38,10 +49,21 @@ def load(path):
     return doc, {row["name"]: row for row in results}
 
 
+def gated_fields_of(doc, path):
+    fields = doc.get("gated_fields", DEFAULT_GATED_FIELDS)
+    if (not isinstance(fields, (list, tuple)) or not fields
+            or not all(isinstance(f, str) for f in fields)):
+        print(f"error: {path} has a malformed 'gated_fields' array",
+              file=sys.stderr)
+        sys.exit(2)
+    return tuple(fields)
+
+
 def check_pair(baseline_path, candidate_path):
-    """Returns (drift_lines, benchmark_count) for one baseline/candidate."""
+    """Returns (drift_lines, benchmark_count, field_count) for one pair."""
     baseline_doc, baseline = load(baseline_path)
     candidate_doc, candidate = load(candidate_path)
+    fields = gated_fields_of(baseline_doc, baseline_path)
 
     drift = []
     for name in sorted(baseline.keys() - candidate.keys()):
@@ -50,7 +72,7 @@ def check_pair(baseline_path, candidate_path):
         drift.append(f"{name}: not in baseline (refresh {baseline_path}?)")
 
     for name in sorted(baseline.keys() & candidate.keys()):
-        for field in GATED_FIELDS:
+        for field in fields:
             want, got = baseline[name].get(field), candidate[name].get(field)
             if want != got:
                 drift.append(f"{name}: {field} {want} -> {got}")
@@ -62,33 +84,43 @@ def check_pair(baseline_path, candidate_path):
               f"{base_ms:.1f} ms, candidate {cand_ms:.1f} ms "
               f"({cand_ms / base_ms - 1.0:+.1%} vs baseline)")
 
-    return drift, len(baseline)
+    return drift, len(baseline), len(fields)
 
 
 def main(argv):
-    if len(argv) < 3 or len(argv) % 2 != 1:
+    args = list(argv[1:])
+    allow_missing = "--allow-missing-baseline" in args
+    args = [a for a in args if a != "--allow-missing-baseline"]
+    if len(args) < 2 or len(args) % 2 != 0:
         print(__doc__, file=sys.stderr)
         return 2
 
-    pairs = [(argv[i], argv[i + 1]) for i in range(1, len(argv), 2)]
+    pairs = [(args[i], args[i + 1]) for i in range(0, len(args), 2)]
     all_drift = []
     total_benchmarks = 0
+    checked_pairs = 0
     for baseline_path, candidate_path in pairs:
-        drift, count = check_pair(baseline_path, candidate_path)
+        if allow_missing and not os.path.exists(baseline_path):
+            print(f"WARNING: no baseline at {baseline_path} — bootstrap "
+                  f"pass. Commit the candidate ({candidate_path}) as the "
+                  f"baseline to arm this gate.")
+            continue
+        drift, count, _ = check_pair(baseline_path, candidate_path)
         all_drift.extend(f"{baseline_path}: {line}" for line in drift)
         total_benchmarks += count
+        checked_pairs += 1
 
     if all_drift:
-        print(f"ROUTING-QUALITY DRIFT across {len(all_drift)} check(s):")
+        print(f"GATED-FIELD DRIFT across {len(all_drift)} check(s):")
         for line in all_drift:
             print(f"  {line}")
         print("\nIf this change is intentional, regenerate the baseline(s) "
               "with the matching bench binary (bench_router_throughput / "
-              "bench_runtime_scaling).")
+              "bench_runtime_scaling / bench_serve_load).")
         return 1
 
-    print(f"OK: {total_benchmarks} benchmarks across {len(pairs)} pair(s), "
-          f"{len(GATED_FIELDS)} gated fields each, no drift.")
+    print(f"OK: {total_benchmarks} benchmarks across {checked_pairs} "
+          f"pair(s), no drift in any gated field.")
     return 0
 
 

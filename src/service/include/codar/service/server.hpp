@@ -1,8 +1,9 @@
 #pragma once
 
 // The `codar serve` loop: a resident routing service that reads
-// newline-delimited JSON requests (see protocol.hpp) from an input stream,
-// fans route work out over a worker pool fronted by the content-addressed
+// newline-delimited JSON requests (see protocol.hpp) over a transport
+// (stdio, TCP or Unix-domain sockets — see transport.hpp), fans route
+// work out over a worker pool fronted by the content-addressed
 // RouteCache, and streams back one NDJSON response per request:
 //
 //   {"id": 1, "cached": false, "result": { ...batch stats schema... }}
@@ -12,11 +13,22 @@
 // The "result" object is byte-identical to what the one-shot batch driver
 // emits for the same circuit/device/options (locked by the serve
 // differential test). Responses stream in completion order, tagged with
-// the request id; a {"cmd":"stats"} request acts as a barrier — it drains
-// every request enqueued before it, so its counters are deterministic.
+// the request id the issuing client sent; ids are per-connection, so
+// concurrent clients never see each other's traffic. A {"cmd":"stats"}
+// request acts as a per-connection barrier — it drains every request this
+// connection enqueued before it, then reports the server-wide counters.
+//
+// Socket mode accepts any number of concurrent clients, each with
+// pipelined requests. Per connection, at most --max-inflight requests may
+// be accepted-but-unwritten: past that the server stops reading that
+// connection (backpressure) until responses drain, so one slow or
+// flooding client can neither exhaust memory nor starve the others.
+// --idle-timeout-ms closes connections that go quiet; SIGTERM/SIGINT
+// stop accepting, drain every accepted request, flush responses and exit.
 
 #include <cstddef>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,20 +42,59 @@ struct ServeOptions {
   cli::Options defaults;
   std::size_t cache_bytes = 256u << 20;  ///< Route-cache budget; 0 = off.
   int cache_shards = 8;
+  /// Transport endpoint: `stdio` (default), `tcp:HOST:PORT` (port 0 =
+  /// kernel-chosen) or `unix:PATH`.
+  std::string listen = "stdio";
+  /// Per-connection pipelining cap: requests accepted but not yet written
+  /// back. At the cap the server stops reading that connection.
+  std::size_t max_inflight = 64;
+  /// Close a connection after this many ms without receiving a byte.
+  /// 0 disables the timeout. Socket transports only.
+  int idle_timeout_ms = 0;
+  /// Oversized-frame cap: a request line longer than this draws a
+  /// structured error and a close (the framing can no longer be trusted
+  /// cheaply). Large enough for multi-MiB inline QASM by default.
+  std::size_t max_line_bytes = 8u << 20;
   bool help = false;
 };
 
 /// Parses `codar serve` arguments (everything after the subcommand word).
 /// Accepts every routing flag of the batch CLI as a request default, plus
-/// --cache-bytes / --cache-shards. Throws cli::UsageError.
+/// --cache-bytes / --cache-shards / --listen / --max-inflight /
+/// --idle-timeout-ms / --max-line-bytes. Throws cli::UsageError.
 ServeOptions parse_serve_args(const std::vector<std::string>& args);
 
 /// The `codar serve --help` text.
 std::string serve_usage();
 
-/// Runs the service until EOF on `in`, writing NDJSON responses to `out`
-/// and human-readable startup/shutdown notes to `err`. Returns the process
-/// exit code.
+/// A socket-mode server running on background threads. Destroying the
+/// handle shuts the server down (drain semantics) and joins it.
+class ServerHandle {
+ public:
+  virtual ~ServerHandle() = default;
+
+  /// The resolved endpoint clients can connect to — for `tcp:...:0` this
+  /// carries the kernel-chosen port.
+  virtual std::string endpoint() const = 0;
+
+  /// Initiates drain shutdown: stop accepting, stop reading, finish every
+  /// accepted request, flush responses, close. Idempotent, non-blocking.
+  virtual void shutdown() = 0;
+
+  /// Blocks until the server has fully stopped. Returns the exit code.
+  virtual int join() = 0;
+};
+
+/// Starts a socket-mode server for `opts` (opts.listen must be tcp:/unix:)
+/// and returns once it is accepting. Throws std::runtime_error when the
+/// endpoint cannot be bound or the default device is invalid. This is the
+/// in-process entry the socket tests and the load bench drive.
+std::unique_ptr<ServerHandle> start_serve(const ServeOptions& opts);
+
+/// Runs the service until EOF on `in` (stdio transport) or until
+/// SIGTERM/SIGINT (socket transports; `in`/`out` are unused then), writing
+/// NDJSON responses to the transport and human-readable startup/shutdown
+/// notes to `err`. Returns the process exit code.
 int run_serve(const ServeOptions& opts, std::istream& in, std::ostream& out,
               std::ostream& err);
 

@@ -1,0 +1,123 @@
+#pragma once
+
+// The serve transport layer: byte streams the NDJSON server loop speaks
+// over, abstracted so `codar serve` runs identically on stdio (one
+// implicit client over std::istream/std::ostream), TCP sockets and
+// Unix-domain sockets (`--listen tcp:HOST:PORT | unix:PATH | stdio`).
+//
+// A Connection is one full-duplex byte stream to one client. Reads are
+// chunk-oriented with a caller-supplied timeout slice so the server's
+// per-connection reader can interleave idle-timeout accounting and
+// shutdown checks with blocking I/O; writes are all-or-nothing and
+// blocking (the server bounds how much can ever be queued behind them —
+// see server.cpp's per-connection write queue). Socket writes use
+// MSG_NOSIGNAL, so a client that disconnects with responses pending
+// surfaces as a write error, never as SIGPIPE.
+//
+// A Listener accepts Connections until close(), which wakes a blocked
+// accept() from another thread (self-pipe, not fd teardown, so there is
+// no close/accept race). TCP listeners support port 0 and report the
+// kernel-chosen port through endpoint(), which is how the tests and the
+// load bench run servers on ephemeral ports.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace codar::service {
+
+/// A parsed `--listen` spec: `stdio`, `tcp:HOST:PORT` or `unix:PATH`.
+struct ListenSpec {
+  enum class Kind { kStdio, kTcp, kUnix };
+
+  Kind kind = Kind::kStdio;
+  std::string host;         ///< TCP bind/connect host (name or literal).
+  std::uint16_t port = 0;   ///< TCP port; 0 asks the kernel for one.
+  std::string path;         ///< Unix-domain socket path.
+};
+
+/// Parses a `--listen` / connect spec string. Throws std::invalid_argument
+/// on malformed specs (unknown scheme, bad port, empty or oversized unix
+/// path — sun_path is 108 bytes including the terminator).
+ListenSpec parse_listen_spec(const std::string& spec);
+
+/// Renders a spec back to its canonical string form ("tcp:127.0.0.1:7777").
+std::string to_string(const ListenSpec& spec);
+
+/// Outcome of one Connection::read_some call.
+enum class ReadStatus {
+  kData,     ///< >= 1 byte was read into the buffer.
+  kEof,      ///< Orderly end of stream (peer closed its write side).
+  kTimeout,  ///< No data within the caller's timeout slice.
+  kError,    ///< The stream is broken (reset, I/O error).
+};
+
+/// One full-duplex byte stream to one client.
+class Connection {
+ public:
+  Connection() = default;
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+  virtual ~Connection() = default;
+
+  /// Reads up to `cap` bytes into `buf`, blocking at most `timeout_ms`
+  /// milliseconds (-1 = indefinitely) for the first byte. On kData, `*n`
+  /// is the byte count (>= 1); on any other status `*n` is 0.
+  virtual ReadStatus read_some(char* buf, std::size_t cap, std::size_t* n,
+                               int timeout_ms) = 0;
+
+  /// Writes all of `data`, blocking as needed. Returns false when the
+  /// peer is gone or the stream errored; the connection is then dead for
+  /// writing and further calls keep returning false.
+  virtual bool write_all(std::string_view data) = 0;
+
+  /// Human-readable peer label for log lines ("tcp:127.0.0.1:52114").
+  virtual std::string peer() const = 0;
+};
+
+/// A bound, listening transport endpoint producing Connections.
+class Listener {
+ public:
+  Listener() = default;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  virtual ~Listener() = default;
+
+  /// Blocks until a client connects (returns it) or close() is called
+  /// (returns nullptr; every subsequent call also returns nullptr).
+  /// Transient per-connection accept errors are swallowed and retried.
+  virtual std::unique_ptr<Connection> accept() = 0;
+
+  /// Wakes a blocked accept() and makes the listener return nullptr from
+  /// then on. Safe to call from another thread, and idempotent.
+  virtual void close() = 0;
+
+  /// The canonical resolved endpoint — for TCP with port 0 this carries
+  /// the kernel-chosen port, so callers can connect to it.
+  virtual std::string endpoint() const = 0;
+};
+
+/// Binds a listening socket for a tcp:/unix: spec. For unix: specs a
+/// stale socket file left by a dead server is unlinked first; the file is
+/// unlinked again when the listener is destroyed. Throws
+/// std::runtime_error on bind/listen failure and std::invalid_argument
+/// for stdio specs (stdio is served inline, not accepted).
+std::unique_ptr<Listener> make_listener(const ListenSpec& spec);
+
+/// Client side: connects to a tcp:/unix: endpoint string, blocking up to
+/// `timeout_ms` (-1 = OS default). Throws std::runtime_error when the
+/// endpoint is unreachable. Used by the load bench and the socket tests.
+std::unique_ptr<Connection> connect_endpoint(const std::string& spec,
+                                             int timeout_ms = -1);
+
+/// The stdio transport: one Connection over an istream/ostream pair. The
+/// timeout slice is ignored (portable stream reads cannot poll) — idle
+/// timeouts are a socket-transport feature. Used for `--listen stdio` and
+/// by every in-process serve test.
+std::unique_ptr<Connection> make_stream_connection(std::istream& in,
+                                                   std::ostream& out);
+
+}  // namespace codar::service

@@ -1,8 +1,10 @@
 #include "codar/service/server.hpp"
 
 #include <atomic>
+#include <cerrno>
 #include <charconv>
 #include <condition_variable>
+#include <csignal>
 #include <deque>
 #include <istream>
 #include <memory>
@@ -11,6 +13,9 @@
 #include <sstream>
 #include <thread>
 #include <unordered_map>
+#include <utility>
+
+#include <unistd.h>
 
 #include "codar/cli/device_registry.hpp"
 #include "codar/common/thread_annotations.hpp"
@@ -20,6 +25,7 @@
 #include "codar/service/json.hpp"
 #include "codar/service/protocol.hpp"
 #include "codar/service/route_cache.hpp"
+#include "codar/service/transport.hpp"
 #include "codar/workloads/suite.hpp"
 
 namespace codar::service {
@@ -37,8 +43,92 @@ std::size_t parse_size(const std::string& flag, const std::string& value) {
   return result;
 }
 
+/// Reader-side poll slice: the longest a reader blocks in one read call
+/// before re-checking the shutdown flag and its idle budget.
+constexpr int kReadSliceMs = 200;
+
+/// Splits a Connection's byte stream into NDJSON lines, enforcing the
+/// oversized-frame cap and the idle timeout, and noticing shutdown between
+/// read slices. A final unterminated line before EOF is still yielded
+/// (matching std::getline on the old stdio loop).
+class LineReader {
+ public:
+  enum class Status {
+    kLine,       ///< `*line` holds one request line (no terminator).
+    kEof,        ///< Peer closed; no more lines.
+    kShutdown,   ///< Server shutdown observed between reads.
+    kIdle,       ///< Idle timeout expired with no data.
+    kOversized,  ///< A line exceeded max_line_bytes; framing untrusted.
+    kError,      ///< Transport error.
+  };
+
+  LineReader(Connection& io, std::size_t max_line_bytes, int idle_timeout_ms,
+             const std::atomic<bool>& shutdown)
+      : io_(io),
+        max_line_bytes_(max_line_bytes),
+        idle_timeout_ms_(idle_timeout_ms),
+        shutdown_(shutdown) {}
+
+  Status next(std::string* line) {
+    int idle_elapsed_ms = 0;
+    for (;;) {
+      // A complete buffered line is served before any further I/O, so
+      // pipelined requests that arrived in one chunk never wait.
+      const std::size_t nl = buffer_.find('\n', scan_from_);
+      if (nl != std::string::npos) {
+        line->assign(buffer_, 0, nl);
+        if (!line->empty() && line->back() == '\r') line->pop_back();
+        buffer_.erase(0, nl + 1);
+        scan_from_ = 0;
+        return Status::kLine;
+      }
+      scan_from_ = buffer_.size();
+      if (buffer_.size() > max_line_bytes_) return Status::kOversized;
+      if (eof_) {
+        if (buffer_.empty()) return Status::kEof;
+        line->assign(std::move(buffer_));  // final unterminated line
+        buffer_.clear();
+        scan_from_ = 0;
+        return Status::kLine;
+      }
+      if (shutdown_.load(std::memory_order_relaxed)) {
+        return Status::kShutdown;
+      }
+      char chunk[16 * 1024];
+      std::size_t got = 0;
+      switch (io_.read_some(chunk, sizeof chunk, &got, kReadSliceMs)) {
+        case ReadStatus::kData:
+          idle_elapsed_ms = 0;
+          buffer_.append(chunk, got);
+          break;
+        case ReadStatus::kEof:
+          eof_ = true;
+          break;
+        case ReadStatus::kTimeout:
+          idle_elapsed_ms += kReadSliceMs;
+          if (idle_timeout_ms_ > 0 && idle_elapsed_ms >= idle_timeout_ms_) {
+            return Status::kIdle;
+          }
+          break;
+        case ReadStatus::kError:
+          return Status::kError;
+      }
+    }
+  }
+
+ private:
+  Connection& io_;
+  std::size_t max_line_bytes_;
+  int idle_timeout_ms_;
+  const std::atomic<bool>& shutdown_;
+  std::string buffer_;
+  std::size_t scan_from_ = 0;  ///< '\n' cannot be before here.
+  bool eof_ = false;
+};
+
 /// Everything one serve session owns: worker pool, request queue, route
-/// cache, and the device / suite memos shared across workers.
+/// cache, the device / suite memos shared across workers, and the set of
+/// live client connections.
 class Server {
  public:
   /// A memoized device plus its content fingerprint (so the per-request
@@ -54,89 +144,255 @@ class Server {
     std::uint64_t fingerprint = 0;
   };
 
-  Server(const ServeOptions& opts, std::ostream& out)
-      : opts_(opts),
-        cache_(opts.cache_bytes, opts.cache_shards),
-        out_(out) {}
+  /// One client connection. The write side is a bounded queue drained by
+  /// at most one thread at a time (whoever enqueues into an idle queue
+  /// becomes the drainer), so a slow client occupies at most one worker.
+  /// `inflight` counts responses owed but not yet written — route
+  /// requests from acceptance, reader-generated error/stats lines from
+  /// enqueue — and is the backpressure quantity: the reader stops reading
+  /// at max_inflight.
+  struct ClientConn {
+    explicit ClientConn(std::unique_ptr<Connection> io_)
+        : io(std::move(io_)) {}
 
-  void run(std::istream& in) {
+    std::unique_ptr<Connection> io;
+    common::Mutex m;
+    /// Signaled on every inflight decrement and on death, for the
+    /// reader's backpressure / barrier / drain waits.
+    std::condition_variable_any cv;
+    std::deque<std::string> write_queue CODAR_GUARDED_BY(m);
+    std::size_t inflight CODAR_GUARDED_BY(m) = 0;
+    bool writing CODAR_GUARDED_BY(m) = false;  ///< A drainer is active.
+    bool dead CODAR_GUARDED_BY(m) = false;     ///< Write side broken.
+  };
+
+  /// One unit of routing work bound for one connection.
+  struct Job {
+    ServeRequest req;
+    std::shared_ptr<ClientConn> conn;
+  };
+
+  explicit Server(const ServeOptions& opts)
+      : opts_(opts), cache_(opts.cache_bytes, opts.cache_shards) {}
+
+  /// stdio mode: serve exactly one connection over `in`/`out` on the
+  /// calling thread until EOF, then drain and stop.
+  void run_stream(std::istream& in, std::ostream& out) {
+    start_workers();
+    auto conn =
+        std::make_shared<ClientConn>(make_stream_connection(in, out));
+    reader_loop(conn);
+    stop_workers();
+  }
+
+  /// Socket mode: accept until the listener is close()d (the handle's
+  /// shutdown does that), a reader thread per client.
+  void run_listener(Listener& listener) {
+    start_workers();
+    for (;;) {
+      std::unique_ptr<Connection> io = listener.accept();
+      if (io == nullptr) break;  // close()d by shutdown
+      auto conn = std::make_shared<ClientConn>(std::move(io));
+      const common::MutexLock lock(conns_mutex_);
+      conns_.push_back(conn);
+      reader_threads_.emplace_back(
+          [this, conn = std::move(conn)] { reader_loop(conn); });
+    }
+    // Drain: readers stop reading (shutdown flag), wait out their
+    // accepted requests, flush and close; workers then run the queue dry.
+    std::vector<std::thread> readers;
+    {
+      const common::MutexLock lock(conns_mutex_);
+      readers.swap(reader_threads_);
+    }
+    for (std::thread& t : readers) t.join();
+    stop_workers();
+  }
+
+  /// Stops readers at their next slice; the caller also close()s the
+  /// listener (the handle owns it, so there is no ordering race with
+  /// run_listener starting up). Safe from any thread, idempotent.
+  void shutdown() { shutting_down_.store(true, std::memory_order_relaxed); }
+
+ private:
+  void start_workers() {
     int threads = opts_.defaults.threads > 0
                       ? opts_.defaults.threads
                       : static_cast<int>(std::thread::hardware_concurrency());
     if (threads < 1) threads = 1;
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(threads));
+    workers_.reserve(static_cast<std::size_t>(threads));
     for (int t = 0; t < threads; ++t) {
-      pool.emplace_back([this] { worker_loop(); });
+      workers_.emplace_back([this] { worker_loop(); });
     }
+  }
 
-    std::string line;
-    while (std::getline(in, line)) {
-      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-      handle_line(line);
-    }
-
+  void stop_workers() {
     {
       const common::MutexLock lock(queue_mutex_);
       done_ = true;
     }
     queue_ready_.notify_all();
-    for (std::thread& t : pool) t.join();
+    for (std::thread& t : workers_) t.join();
+    workers_.clear();
   }
 
- private:
-  void handle_line(const std::string& line) {
+  /// Reads one connection until EOF / timeout / shutdown, then waits for
+  /// every owed response to hit the wire before closing.
+  void reader_loop(const std::shared_ptr<ClientConn>& conn) {
+    LineReader lines(*conn->io, opts_.max_line_bytes, opts_.idle_timeout_ms,
+                     shutting_down_);
+    std::string line;
+    bool reading = true;
+    while (reading) {
+      switch (lines.next(&line)) {
+        case LineReader::Status::kLine:
+          if (line.find_first_not_of(" \t\r") != std::string::npos) {
+            handle_line(conn, line);
+          }
+          break;
+        case LineReader::Status::kOversized:
+          // The stream position after a dropped over-cap line is
+          // untrusted; answer structurally, then close.
+          ++errors_;
+          respond(conn,
+                  "{\"id\": null, \"error\": \"request line exceeds " +
+                      std::to_string(opts_.max_line_bytes) +
+                      " bytes\"}");
+          reading = false;
+          break;
+        case LineReader::Status::kIdle:
+          respond(conn,
+                  "{\"id\": null, \"error\": \"idle timeout after " +
+                      std::to_string(opts_.idle_timeout_ms) + " ms\"}");
+          reading = false;
+          break;
+        case LineReader::Status::kEof:
+        case LineReader::Status::kShutdown:
+        case LineReader::Status::kError:
+          reading = false;
+          break;
+      }
+    }
+    // Drain before close: every accepted request still gets its response
+    // (unless the write side already broke, which zeroes inflight).
+    {
+      const common::MutexLock lock(conn->m);
+      while (conn->inflight != 0) conn->cv.wait(conn->m);
+    }
+    const common::MutexLock lock(conns_mutex_);
+    std::erase(conns_, conn);
+  }
+
+  void handle_line(const std::shared_ptr<ClientConn>& conn,
+                   const std::string& line) {
     ServeRequest req;
     try {
       req = parse_request(line, opts_.defaults);
     } catch (const ProtocolError& e) {
       ++errors_;
-      write_response("{\"id\": " + best_effort_id(line) + ", \"error\": " +
-                     json_quote(e.what()) + "}");
+      respond(conn, "{\"id\": " + best_effort_id(line) + ", \"error\": " +
+                        json_quote(e.what()) + "}");
       return;
     }
     if (req.kind == ServeRequest::Kind::kStats) {
       {
-        // Barrier: a stats request reports on everything enqueued before
-        // it, so drain the queue and all in-flight work first. (Explicit
-        // wait loop, not a predicate lambda: the thread-safety analysis
-        // sees the guarded reads in this scope, where the lock is held.)
-        const common::MutexLock lock(queue_mutex_);
-        while (pending_ != 0) drained_.wait(queue_mutex_);
+        // Per-connection barrier: a stats request reports on everything
+        // this connection enqueued before it, so wait until every owed
+        // response is written. (Explicit wait loop, not a predicate
+        // lambda: the thread-safety analysis sees the guarded reads in
+        // this scope, where the lock is held.)
+        const common::MutexLock lock(conn->m);
+        while (conn->inflight != 0 && !conn->dead) conn->cv.wait(conn->m);
       }
-      write_response(stats_response(req));
+      respond(conn, stats_response(req));
       return;
+    }
+    {
+      // Backpressure: at max_inflight accepted-but-unwritten requests the
+      // reader parks here — this connection's bytes stay in the socket
+      // buffer (and eventually push back on the client) instead of
+      // ballooning the server queue. Shutdown does not break the wait:
+      // workers keep draining during shutdown, and a parsed request is
+      // owed a response.
+      const common::MutexLock lock(conn->m);
+      while (conn->inflight >= opts_.max_inflight && !conn->dead) {
+        conn->cv.wait(conn->m);
+      }
+      if (conn->dead) return;  // peer gone; drop silently
+      ++conn->inflight;
     }
     ++requests_;
     {
-      // Bounded queue: when the workers fall behind, the reader blocks
-      // instead of buffering all of stdin in memory.
       const common::MutexLock lock(queue_mutex_);
-      while (queue_.size() >= kMaxQueuedRequests) queue_space_.wait(queue_mutex_);
-      ++pending_;
-      queue_.push_back(std::move(req));
+      queue_.push_back(Job{std::move(req), conn});
     }
     queue_ready_.notify_one();
   }
 
   void worker_loop() {
     for (;;) {
-      ServeRequest req;
+      Job job;
       {
         const common::MutexLock lock(queue_mutex_);
         while (queue_.empty() && !done_) queue_ready_.wait(queue_mutex_);
         if (queue_.empty()) return;
-        req = std::move(queue_.front());
+        job = std::move(queue_.front());
         queue_.pop_front();
       }
-      queue_space_.notify_one();
-      write_response(process(req));
-      {
-        const common::MutexLock lock(queue_mutex_);
-        --pending_;
-      }
-      drained_.notify_all();
+      deliver(*job.conn, process(job.req));
     }
+  }
+
+  /// Reader-side responses (errors, stats): take one inflight unit, then
+  /// enqueue. Route responses took their unit at acceptance.
+  void respond(const std::shared_ptr<ClientConn>& conn,
+               const std::string& line) {
+    {
+      const common::MutexLock lock(conn->m);
+      ++conn->inflight;
+    }
+    deliver(*conn, line);
+  }
+
+  /// Hands one response line (owning one inflight unit) to `c`'s write
+  /// queue and drains the queue unless another thread already is. The
+  /// unit is released when the line reaches the wire — or is dropped
+  /// because the peer vanished — so backpressure tracks the client's
+  /// consumption, not just routing completion.
+  void deliver(ClientConn& c, const std::string& line) CODAR_EXCLUDES(c.m) {
+    c.m.lock();
+    if (c.dead) {
+      --c.inflight;
+      c.cv.notify_all();
+      c.m.unlock();
+      return;
+    }
+    c.write_queue.push_back(line + "\n");
+    if (c.writing) {
+      // The active drainer will pick this entry up before it finishes.
+      c.m.unlock();
+      return;
+    }
+    c.writing = true;
+    while (!c.write_queue.empty()) {
+      const std::string chunk = std::move(c.write_queue.front());
+      c.write_queue.pop_front();
+      c.m.unlock();
+      const bool ok = c.io->write_all(chunk);
+      c.m.lock();
+      --c.inflight;
+      if (!ok) {
+        // Client disconnected with responses pending: drop what it will
+        // never read and release those units so routing work already in
+        // flight unwinds instead of waiting on a dead socket.
+        c.dead = true;
+        c.inflight -= c.write_queue.size();
+        c.write_queue.clear();
+      }
+      c.cv.notify_all();
+    }
+    c.writing = false;
+    c.m.unlock();
   }
 
   std::string process(const ServeRequest& req) {
@@ -213,6 +469,29 @@ class Server {
         if (id->is_string()) return json_quote(id->as_string());
       }
     } catch (const JsonError&) {
+      // The line as a whole is not JSON (the usual reason we are here).
+      // Scan for an `"id"` member by hand so even a half-garbled request
+      // still correlates: accept a number or a string value, nothing else.
+      const std::size_t key = line.find("\"id\"");
+      if (key == std::string::npos) return "null";
+      std::size_t pos = line.find_first_not_of(" \t", key + 4);
+      if (pos == std::string::npos || line[pos] != ':') return "null";
+      pos = line.find_first_not_of(" \t", pos + 1);
+      if (pos == std::string::npos) return "null";
+      if (line[pos] == '"') {
+        const std::size_t end = line.find('"', pos + 1);
+        if (end == std::string::npos) return "null";
+        // Re-quote rather than echoing raw bytes back into our JSON.
+        return json_quote(line.substr(pos + 1, end - pos - 1));
+      }
+      const std::size_t end = line.find_first_not_of("-+.0123456789eE", pos);
+      const std::string token =
+          line.substr(pos, end == std::string::npos ? end : end - pos);
+      try {
+        return Json::parse(token).raw_number();
+      } catch (const JsonError&) {
+        return "null";
+      }
     }
     return "null";
   }
@@ -298,34 +577,26 @@ class Server {
     return it->second;
   }
 
-  void write_response(const std::string& line) CODAR_EXCLUDES(out_mutex_) {
-    const common::MutexLock lock(out_mutex_);
-    out_ << line << '\n' << std::flush;
-  }
-
   const ServeOptions& opts_;
   RouteCache cache_;
 
-  std::ostream& out_;
-  /// Serializes whole response lines onto out_ (NDJSON must never
-  /// interleave). The stream itself is a reference, so the capability
-  /// covers its *use sites* rather than a guarded member.
-  common::Mutex out_mutex_;
-
-  /// Backpressure bound: the reader stops ahead of the workers here.
-  static constexpr std::size_t kMaxQueuedRequests = 1024;
+  /// Set once by shutdown(); readers poll it between read slices.
+  std::atomic<bool> shutting_down_{false};
 
   common::Mutex queue_mutex_;
   // condition_variable_any waits on the annotated Mutex directly; wait()
   // releases and reacquires it internally, so the capability is held on
   // both sides of the call and the analysis stays consistent.
   std::condition_variable_any queue_ready_;
-  std::condition_variable_any queue_space_;
-  std::condition_variable_any drained_;
-  std::deque<ServeRequest> queue_ CODAR_GUARDED_BY(queue_mutex_);
-  /// Enqueued but not yet responded to.
-  std::size_t pending_ CODAR_GUARDED_BY(queue_mutex_) = 0;
+  std::deque<Job> queue_ CODAR_GUARDED_BY(queue_mutex_);
   bool done_ CODAR_GUARDED_BY(queue_mutex_) = false;
+
+  common::Mutex conns_mutex_;
+  std::vector<std::shared_ptr<ClientConn>> conns_
+      CODAR_GUARDED_BY(conns_mutex_);
+  std::vector<std::thread> reader_threads_ CODAR_GUARDED_BY(conns_mutex_);
+
+  std::vector<std::thread> workers_;
 
   /// Inline-device memo bounds. The distance oracle bounds *one* device's
   /// warmed footprint (dense matrices cap at 4 MiB under the kAuto
@@ -353,6 +624,101 @@ class Server {
   std::atomic<std::size_t> errors_{0};    ///< Malformed request lines.
 };
 
+/// The socket-mode handle: owns the server, its listener and the thread
+/// running the accept loop.
+class ServerHandleImpl final : public ServerHandle {
+ public:
+  ServerHandleImpl(const ServeOptions& opts, std::unique_ptr<Listener> listener)
+      : opts_(opts),
+        server_(std::make_unique<Server>(opts_)),
+        listener_(std::move(listener)),
+        thread_([this] { server_->run_listener(*listener_); }) {}
+
+  ~ServerHandleImpl() override {
+    shutdown();
+    join();
+  }
+
+  std::string endpoint() const override { return listener_->endpoint(); }
+
+  void shutdown() override {
+    server_->shutdown();
+    listener_->close();  // wakes a blocked accept; idempotent
+  }
+
+  int join() override {
+    if (thread_.joinable()) thread_.join();
+    return 0;
+  }
+
+ private:
+  ServeOptions opts_;  ///< Owned copy; the server holds a reference.
+  std::unique_ptr<Server> server_;
+  std::unique_ptr<Listener> listener_;
+  std::thread thread_;
+};
+
+/// SIGTERM/SIGINT → drain shutdown, via the self-pipe trick: the handler
+/// may only do async-signal-safe work, so it writes one byte; a watcher
+/// thread turns that byte into ServerHandle::shutdown().
+std::atomic<int> g_signal_pipe_wr{-1};
+
+void serve_signal_handler(int /*signum*/) {
+  const int fd = g_signal_pipe_wr.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+int run_serve_socket(const ServeOptions& opts, std::ostream& err) {
+  std::unique_ptr<ServerHandle> handle;
+  try {
+    handle = start_serve(opts);
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 2;
+  }
+  err << "listening on " << handle->endpoint() << " (SIGTERM drains)\n";
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    err << "error: cannot create signal pipe\n";
+    return 2;
+  }
+  g_signal_pipe_wr.store(pipe_fds[1], std::memory_order_relaxed);
+  struct sigaction action {};
+  action.sa_handler = serve_signal_handler;
+  sigemptyset(&action.sa_mask);
+  struct sigaction old_term {};
+  struct sigaction old_int {};
+  ::sigaction(SIGTERM, &action, &old_term);
+  ::sigaction(SIGINT, &action, &old_int);
+
+  std::thread watcher([&handle, rd = pipe_fds[0]] {
+    char byte = 0;
+    ssize_t n;
+    do {
+      n = ::read(rd, &byte, 1);
+    } while (n < 0 && errno == EINTR);
+    handle->shutdown();
+  });
+
+  const int rc = handle->join();
+
+  // The server stopped (signal or otherwise); restore handlers and make
+  // sure the watcher wakes even when no signal ever arrived.
+  ::sigaction(SIGTERM, &old_term, nullptr);
+  ::sigaction(SIGINT, &old_int, nullptr);
+  serve_signal_handler(0);
+  watcher.join();
+  g_signal_pipe_wr.store(-1, std::memory_order_relaxed);
+  ::close(pipe_fds[0]);
+  ::close(pipe_fds[1]);
+  err << "drained, shutting down\n";
+  return rc;
+}
+
 }  // namespace
 
 ServeOptions parse_serve_args(const std::vector<std::string>& args) {
@@ -379,6 +745,31 @@ ServeOptions parse_serve_args(const std::vector<std::string>& args) {
         throw cli::UsageError("--cache-shards must be in [1, 4096]");
       }
       opts.cache_shards = static_cast<int>(shards);
+    } else if (arg == "--listen") {
+      opts.listen = value();
+      try {
+        parse_listen_spec(opts.listen);  // validate now, fail at parse time
+      } catch (const std::invalid_argument& e) {
+        throw cli::UsageError(e.what());
+      }
+    } else if (arg == "--max-inflight") {
+      const std::size_t n = parse_size(arg, value());
+      if (n < 1 || n > (1u << 20)) {
+        throw cli::UsageError("--max-inflight must be in [1, 1048576]");
+      }
+      opts.max_inflight = n;
+    } else if (arg == "--idle-timeout-ms") {
+      const std::size_t ms = parse_size(arg, value());
+      if (ms > 86400000) {
+        throw cli::UsageError("--idle-timeout-ms must be <= 86400000");
+      }
+      opts.idle_timeout_ms = static_cast<int>(ms);
+    } else if (arg == "--max-line-bytes") {
+      const std::size_t n = parse_size(arg, value());
+      if (n < 1024) {
+        throw cli::UsageError("--max-line-bytes must be >= 1024");
+      }
+      opts.max_line_bytes = n;
     } else {
       throw cli::UsageError("unknown serve flag '" + arg + "'");
     }
@@ -390,7 +781,9 @@ std::string serve_usage() {
   return R"(codar serve — resident NDJSON routing service with a route cache
 
 usage:
-  codar serve [options]        read requests from stdin until EOF
+  codar serve [options]                    read requests from stdin until EOF
+  codar serve --listen tcp:HOST:PORT       serve TCP clients until SIGTERM
+  codar serve --listen unix:PATH           serve Unix-socket clients
 
 Requests are newline-delimited JSON objects:
   {"id": 1, "qasm": "OPENQASM 2.0; ...", "device": "tokyo",
@@ -410,7 +803,24 @@ is byte-identical to the batch driver's stats object for the same inputs.
 Identical (circuit, device, options) requests are served from a sharded
 LRU route cache; concurrent duplicates route once.
 
+Socket transports accept any number of concurrent clients, each free to
+pipeline requests; responses stream back in completion order tagged with
+the client's request ids. Per connection at most --max-inflight requests
+may be accepted but unanswered — past that the server stops reading that
+connection until responses drain (backpressure). SIGTERM/SIGINT drain:
+accepted requests finish, responses flush, then the process exits.
+
 service options:
+      --listen SPEC     transport endpoint: stdio (default),
+                        tcp:HOST:PORT (port 0 = kernel-chosen) or
+                        unix:PATH
+      --max-inflight N  per-connection pipelining cap (default 64)
+      --idle-timeout-ms N
+                        close connections quiet for N ms (default 0 =
+                        never; socket transports only)
+      --max-line-bytes N
+                        oversized-frame cap per request line (default
+                        8388608)
       --cache-bytes N   route-cache byte budget (default 268435456; 0
                         disables caching)
       --cache-shards N  number of independently locked shards (default 8)
@@ -428,9 +838,23 @@ request defaults (overridable per request; same meaning as in batch mode):
 )";
 }
 
+std::unique_ptr<ServerHandle> start_serve(const ServeOptions& opts) {
+  // Fail fast on an unknown default device instead of erroring every
+  // request.
+  cli::make_device(opts.defaults.device);
+  const ListenSpec spec = parse_listen_spec(opts.listen);
+  if (spec.kind == ListenSpec::Kind::kStdio) {
+    throw std::invalid_argument(
+        "start_serve needs a socket listen spec (tcp:/unix:), not stdio");
+  }
+  return std::make_unique<ServerHandleImpl>(opts, make_listener(spec));
+}
+
 int run_serve(const ServeOptions& opts, std::istream& in, std::ostream& out,
               std::ostream& err) {
+  ListenSpec spec;
   try {
+    spec = parse_listen_spec(opts.listen);
     // Fail fast on an unknown default device instead of erroring every
     // request.
     cli::make_device(opts.defaults.device);
@@ -438,8 +862,11 @@ int run_serve(const ServeOptions& opts, std::istream& in, std::ostream& out,
     err << "error: " << e.what() << "\n";
     return 2;
   }
-  Server server(opts, out);
-  server.run(in);
+  if (spec.kind != ListenSpec::Kind::kStdio) {
+    return run_serve_socket(opts, err);
+  }
+  Server server(opts);
+  server.run_stream(in, out);
   return 0;
 }
 
