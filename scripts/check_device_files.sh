@@ -79,6 +79,25 @@ case "$stats" in
   *) echo "FAIL: $calibrated did not route+verify: $stats" >&2; fail=1 ;;
 esac
 
+# The noisy example must carry calibration *and* finite coherence, and
+# route end-to-end under both codar and the fidelity-aware codar-fid.
+noisy=examples/devices/tokyo-noisy.json
+case "$(describe "file:$noisy")" in
+  *'"calibrated": true'*'"coherence": true'*) ;;
+  *) echo "FAIL: $noisy does not report calibrated+coherence: true" >&2
+     fail=1 ;;
+esac
+for router in codar codar-fid; do
+  stats=$("$CODAR" --device "file:$noisy" --router "$router" "$qasm" \
+            2>&1 >/dev/null)
+  case "$stats" in
+    *'"verified": true'*)
+      echo "ok: $noisy routes and verifies under $router" ;;
+    *) echo "FAIL: $noisy did not route+verify under $router: $stats" >&2
+       fail=1 ;;
+  esac
+done
+
 if [ "$fail" -ne 0 ]; then
   echo "device file check FAILED" >&2
   exit 1

@@ -37,7 +37,7 @@ class CalibrationTable {
            fidelity_readout_.empty() && fidelity_2q_.empty();
   }
 
-  // -- Setters. Durations must be >= 0, fidelities in [0, 1], qubits >= 0;
+  // -- Setters. Durations must be >= 0, fidelities in (0, 1], qubits >= 0;
   //    violations throw ContractViolation. Setting twice overwrites. --
 
   void set_duration_1q(Qubit q, Duration d);

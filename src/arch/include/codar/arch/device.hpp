@@ -6,6 +6,8 @@
 // through. Includes the four evaluation architectures of the paper plus
 // generic lattice generators for tests and ablations.
 
+#include <cmath>
+#include <limits>
 #include <span>
 #include <string>
 #include <utility>
@@ -16,6 +18,22 @@
 #include "codar/arch/fidelity_map.hpp"
 
 namespace codar::arch {
+
+/// Device-level decoherence times in quantum clock cycles (the unit every
+/// duration uses), infinity by default — an ideal device never decoheres,
+/// which is exactly how every pre-coherence device behaved. Finite values
+/// feed the ESP estimator (cost::FidelityModel) and the codar-fid
+/// decoherence scoring term; they mirror sim::NoiseParams so an estimate
+/// and a noisy simulation describe the same physics.
+struct Coherence {
+  double t1 = std::numeric_limits<double>::infinity();  ///< Damping time.
+  double t2 = std::numeric_limits<double>::infinity();  ///< Dephasing time.
+
+  /// True when either channel is actually active.
+  bool any_finite() const { return std::isfinite(t1) || std::isfinite(t2); }
+
+  friend bool operator==(const Coherence&, const Coherence&) = default;
+};
 
 /// A named NISQ device model (maQAM static structure A_s). Presets are
 /// homogeneous: kind-level durations/fidelities, empty calibration. A
@@ -38,6 +56,7 @@ struct Device {
   DurationMap durations;        ///< Kind-level duration defaults.
   FidelityMap fidelities;       ///< Kind-level fidelity defaults (ideal).
   CalibrationTable calibration; ///< Sparse heterogeneous overrides.
+  Coherence coherence;          ///< T1/T2 in cycles (default: infinite).
 
   /// Duration of `kind` applied to the physical qubits `phys`, resolved
   /// against the calibration overlay:
@@ -68,7 +87,11 @@ struct Device {
   /// The display name is deliberately excluded, so two structurally
   /// identical devices fingerprint identically regardless of how they
   /// were built or labeled — and a recalibrated device can never alias
-  /// its homogeneous twin in the serve route cache.
+  /// its homogeneous twin in the serve route cache. Finite coherence
+  /// times are folded in as a tagged extension (infinite-coherence
+  /// devices keep their historical v2 value, and a finite-T2 device can
+  /// never alias its ideal twin — coherence shapes reported ESP, so it
+  /// must be cache-key relevant).
   std::uint64_t fingerprint() const;
 };
 

@@ -34,14 +34,18 @@
 //       "qubits": [{"qubit": 0, "duration_1q": 1, "duration_readout": 2,
 //                   "fidelity_1q": 0.999, "fidelity_readout": 0.95}],
 //       "edges": [{"edge": [0, 1], "duration_2q": 3, "fidelity_2q": 0.96}]
-//     }
+//     },
+//     "coherence": {"t1": 8000, "t2": 5000}  // optional decoherence times
+//                                         //   in cycles; omitted channels
+//                                         //   stay infinite (ideal)
 //   }
 //
 // Unset durations/fidelities fall back to the superconducting /
 // ideal defaults (exactly the presets' kind-level tables). Broadcast
-// helpers apply before "kinds"; calibration edges must exist in the
-// coupling graph. Every error throws std::invalid_argument with a
-// "device json:" message.
+// helpers apply before "kinds"; fidelities must lie in (0, 1] (zero is
+// rejected: the ESP estimator works in log-space); calibration edges must
+// exist in the coupling graph. Every error throws std::invalid_argument
+// with a "device json:" message.
 
 #include <string>
 #include <string_view>

@@ -13,7 +13,7 @@
 
 namespace codar::arch {
 
-/// Maps every GateKind to its gate fidelity in [0, 1]. Same-kind gates
+/// Maps every GateKind to its gate fidelity in (0, 1]. Same-kind gates
 /// share one fidelity (the paper's modeling assumption, §III-B).
 class FidelityMap {
  public:

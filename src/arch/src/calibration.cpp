@@ -15,7 +15,9 @@ CalibrationTable::Edge normalized(Qubit a, Qubit b) {
 
 void check_duration(Duration d) { CODAR_EXPECTS(d >= 0); }
 
-void check_fidelity(double f) { CODAR_EXPECTS(f >= 0.0 && f <= 1.0); }
+// Fidelity 0 is rejected alongside out-of-range values: the ESP estimator
+// works in log-space and ln(0) would poison every aggregate.
+void check_fidelity(double f) { CODAR_EXPECTS(f > 0.0 && f <= 1.0); }
 
 template <typename Map, typename Key>
 std::optional<typename Map::mapped_type> lookup(const Map& map,

@@ -52,6 +52,15 @@ std::uint64_t Device::fingerprint() const {
   h.u64(durations.fingerprint());
   h.u64(fidelities.fingerprint());
   h.u64(calibration.fingerprint());
+  // Coherence entered the model after schema v2 shipped; fold it only when
+  // finite (behind an extension tag) so every pre-coherence device keeps
+  // its pinned v2 value, while a finite-T1/T2 device can never alias its
+  // ideal twin in the serve route cache.
+  if (coherence.any_finite()) {
+    h.u64(3);  // coherence extension tag
+    h.f64(coherence.t1);
+    h.f64(coherence.t2);
+  }
   return h.value();
 }
 

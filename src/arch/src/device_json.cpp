@@ -66,8 +66,10 @@ Duration require_duration(const Json& v, const char* what) {
 double require_fidelity(const Json& v, const char* what) {
   if (!v.is_number()) bad(std::string(what) + " must be a number");
   const double f = v.as_number();
-  if (!(f >= 0.0 && f <= 1.0)) {
-    bad(std::string(what) + " must be in [0, 1]");
+  // Zero is rejected alongside out-of-range values: the ESP estimator
+  // works in log-space and ln(0) would poison every aggregate.
+  if (!(f > 0.0 && f <= 1.0)) {
+    bad(std::string(what) + " must be in (0, 1]");
   }
   return f;
 }
@@ -90,6 +92,30 @@ std::pair<Qubit, Qubit> require_edge(const Json& v, int num_qubits,
   const Qubit b = require_qubit(v.items()[1], num_qubits, what);
   if (a == b) bad(std::string(what) + " endpoints must differ");
   return {a, b};
+}
+
+/// A decoherence time: positive, possibly fractional, in cycles. Omitted
+/// channels stay infinite (ideal), so there is no way to *write* infinity
+/// in a file — leave the key out instead.
+double require_coherence_time(const Json& v, const char* what) {
+  if (!v.is_number()) bad(std::string(what) + " must be a number");
+  const double t = v.as_number();
+  if (!(t > 0.0) || !std::isfinite(t)) {
+    bad(std::string(what) + " must be a positive finite number of cycles");
+  }
+  return t;
+}
+
+Coherence parse_coherence(const Json& obj) {
+  check_keys(obj, "'coherence'", {"t1", "t2"});
+  Coherence c;
+  if (const Json* v = obj.find("t1")) {
+    c.t1 = require_coherence_time(*v, "'coherence.t1'");
+  }
+  if (const Json* v = obj.find("t2")) {
+    c.t2 = require_coherence_time(*v, "'coherence.t2'");
+  }
+  return c;
 }
 
 /// qasm mnemonic → GateKind, or throws naming the offender.
@@ -261,7 +287,7 @@ Device device_from_json(const Json& doc) {
   if (!doc.is_object()) bad("device description must be a JSON object");
   check_keys(doc, "the device object",
              {"name", "qubits", "edges", "coordinates", "durations",
-              "fidelities", "calibration"});
+              "fidelities", "calibration", "coherence"});
 
   const Json* qubits = doc.find("qubits");
   if (!qubits) bad("missing required key 'qubits'");
@@ -361,6 +387,10 @@ Device device_from_json(const Json& doc) {
   if (const Json* calibration = doc.find("calibration")) {
     if (!calibration->is_object()) bad("'calibration' must be an object");
     device.calibration = parse_calibration(*calibration, device);
+  }
+  if (const Json* coherence = doc.find("coherence")) {
+    if (!coherence->is_object()) bad("'coherence' must be an object");
+    device.coherence = parse_coherence(*coherence);
   }
   return device;
 }
@@ -506,6 +536,21 @@ std::string device_to_json(const Device& device) {
       out << "\n    ]";
     }
     out << "\n  }";
+  }
+
+  // Infinite channels are represented by omission (JSON has no infinity).
+  if (device.coherence.any_finite()) {
+    out << ",\n  \"coherence\": {";
+    bool first = true;
+    if (std::isfinite(device.coherence.t1)) {
+      out << "\"t1\": " << render_double(device.coherence.t1);
+      first = false;
+    }
+    if (std::isfinite(device.coherence.t2)) {
+      if (!first) out << ", ";
+      out << "\"t2\": " << render_double(device.coherence.t2);
+    }
+    out << "}";
   }
   out << "\n}\n";
   return out.str();

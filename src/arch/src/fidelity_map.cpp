@@ -11,12 +11,12 @@ using ir::GateKind;
 FidelityMap::FidelityMap() { table_.fill(1.0); }
 
 void FidelityMap::set(GateKind kind, double fidelity) {
-  CODAR_EXPECTS(fidelity >= 0.0 && fidelity <= 1.0);
+  CODAR_EXPECTS(fidelity > 0.0 && fidelity <= 1.0);
   table_[static_cast<std::size_t>(kind)] = fidelity;
 }
 
 void FidelityMap::set_all_single_qubit(double fidelity) {
-  CODAR_EXPECTS(fidelity >= 0.0 && fidelity <= 1.0);
+  CODAR_EXPECTS(fidelity > 0.0 && fidelity <= 1.0);
   for (std::size_t i = 0; i < ir::kGateKindCount; ++i) {
     const auto kind = static_cast<GateKind>(i);
     if (ir::gate_info(kind).num_qubits == 1 && ir::is_unitary(kind)) {
@@ -26,7 +26,7 @@ void FidelityMap::set_all_single_qubit(double fidelity) {
 }
 
 void FidelityMap::set_all_two_qubit(double fidelity) {
-  CODAR_EXPECTS(fidelity >= 0.0 && fidelity <= 1.0);
+  CODAR_EXPECTS(fidelity > 0.0 && fidelity <= 1.0);
   for (std::size_t i = 0; i < ir::kGateKindCount; ++i) {
     const auto kind = static_cast<GateKind>(i);
     if (ir::gate_info(kind).num_qubits == 2) table_[i] = fidelity;

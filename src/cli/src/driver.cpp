@@ -196,6 +196,8 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
           << (device.graph.has_coordinates() ? "true" : "false")
           << ", \"calibrated\": "
           << (device.calibration.empty() ? "false" : "true")
+          << ", \"coherence\": "
+          << (device.coherence.any_finite() ? "true" : "false")
           << ", \"fingerprint\": \"" << fp << "\"}\n";
       return 0;
     } catch (const std::exception& e) {

@@ -160,6 +160,12 @@ CODAR ablation knobs:
       --no-context --no-duration --no-commutativity --no-fine-priority
       --window N        commutative-front scan cap (<=0 unbounded)
       --stagnation N    forced SWAPs before the shortest-path escape
+
+codar-fid objective weights (see README "Routing objectives"):
+      --alpha X         distance term weight (default 1)
+      --beta X          log-fidelity term weight (default 5; >= 0)
+      --gamma X         decoherence term weight (default 1; >= 0)
+                        beta=0 gamma=0 routes byte-identically to codar
 )";
 }
 

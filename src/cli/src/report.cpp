@@ -1,10 +1,28 @@
 #include "codar/cli/report.hpp"
 
+#include <charconv>
+#include <cmath>
 #include <sstream>
 
+#include "codar/common/expects.hpp"
 #include "codar/common/json.hpp"
 
 namespace codar::cli {
+
+namespace {
+
+/// Shortest round-trip rendering (to_chars without a precision yields the
+/// minimal digits that parse back to the same double) — the same idiom as
+/// the canonical device serializer, so ESP values are deterministic for a
+/// fixed platform and lossless to reparse.
+std::string render_double(double v) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  CODAR_EXPECTS(ec == std::errc());
+  return std::string(buf, ptr);
+}
+
+}  // namespace
 
 void append_json_string(std::ostream& out, std::string_view s) {
   // Delegates to the one escaper of the whole binary (common::json_quote),
@@ -62,7 +80,9 @@ std::string to_json(const RouteReport& r, const Options& opts) {
   }
   out
       << ", \"weighted_depth_in\": " << r.depth_in
-      << ", \"weighted_depth_out\": " << r.depth_out << ", \"verified\": "
+      << ", \"weighted_depth_out\": " << r.depth_out
+      << ", \"est_success_probability\": " << render_double(std::exp(r.log_esp))
+      << ", \"log_esp\": " << render_double(r.log_esp) << ", \"verified\": "
       << (r.verified ? "true" : "false") << "}";
   return out.str();
 }
@@ -74,6 +94,7 @@ std::string to_json(const std::vector<RouteReport>& reports,
   std::size_t route_us = 0;
   long long depth_in = 0;
   long long depth_out = 0;
+  double log_esp = 0.0;  ///< Σ log ESP = log of the suite-wide product.
   std::ostringstream out;
   out << "{\"results\": [";
   for (std::size_t i = 0; i < reports.size(); ++i) {
@@ -84,12 +105,14 @@ std::string to_json(const std::vector<RouteReport>& reports,
     route_us += reports[i].route_us;
     depth_in += reports[i].depth_in;
     depth_out += reports[i].depth_out;
+    log_esp += reports[i].log_esp;
   }
   out << "\n], \"summary\": {\"total\": " << reports.size()
       << ", \"failed\": " << failed << ", \"swaps\": " << swaps;
   if (opts.timing) out << ", \"route_us\": " << route_us;
   out << ", \"weighted_depth_in\": " << depth_in
-      << ", \"weighted_depth_out\": " << depth_out << "}}";
+      << ", \"weighted_depth_out\": " << depth_out
+      << ", \"log_esp\": " << render_double(log_esp) << "}}";
   return out.str();
 }
 

@@ -12,8 +12,11 @@
 // guard and a shortest-path stagnation escape; see DESIGN.md §3.3), and
 // then jumping time to the next lock expiry.
 
+#include <memory>
+
 #include "codar/arch/device.hpp"
 #include "codar/core/routing_result.hpp"
+#include "codar/core/swap_cost.hpp"
 #include "codar/layout/layout.hpp"
 
 namespace codar::core {
@@ -38,6 +41,15 @@ struct CodarConfig {
   /// Consecutive forced SWAPs (no launch in between) before switching to
   /// the shortest-path escape that guarantees progress.
   int stagnation_threshold = 2;
+  /// Optional fidelity-aware scoring hook (the codar-fid pass). When set,
+  /// candidates are picked by alpha * H_basic + swap_cost->bonus(a, b),
+  /// tie-broken by the paper's ⟨H_basic, H_fine⟩; when null the router
+  /// runs the unmodified paper heuristic — the two configurations are
+  /// byte-identical whenever every bonus is zero. See core/swap_cost.hpp.
+  std::shared_ptr<const SwapCostModel> swap_cost;
+  /// Weight of the H_basic distance term under swap_cost scoring. Ignored
+  /// when swap_cost is null.
+  double alpha = 1.0;
 };
 
 /// SWAP-based heuristic remapper, duration- and context-aware.

@@ -1,0 +1,43 @@
+#pragma once
+
+// The scoring seam for fidelity-aware SWAP selection. The CODAR router
+// optionally consults a SwapCostModel while pricing candidate SWAPs: the
+// model contributes a per-edge *bonus* (higher = better edge) that is
+// mixed with the distance heuristic as
+//
+//   score(swap) = alpha * H_basic(swap) + bonus(swap.a, swap.b)
+//
+// and candidates are compared by ⟨score, H_basic, H_fine⟩, so equal-score
+// candidates fall back to exactly the paper ordering. The voluntary
+// insertion gate stays on H_basic > 0 (a SWAP must still shorten total
+// distance to be worth inserting), which preserves the router's
+// termination argument unchanged.
+//
+// The interface lives in core so the router needs no dependency on the
+// cost subsystem; the production implementation is cost::SwapCost
+// (calibrated log-fidelity + decoherence, see codar/cost/swap_cost.hpp).
+
+#include "codar/ir/gate.hpp"
+
+namespace codar::core {
+
+/// Per-edge SWAP scoring hook. Implementations must be deterministic and
+/// state-free: bonus() depends only on the edge (a, b), never on routing
+/// progress — the router caches bonuses per candidate and reuses them
+/// across re-pricing rounds.
+class SwapCostModel {
+ public:
+  SwapCostModel() = default;
+  SwapCostModel(const SwapCostModel&) = delete;
+  SwapCostModel& operator=(const SwapCostModel&) = delete;
+  SwapCostModel(SwapCostModel&&) = delete;
+  SwapCostModel& operator=(SwapCostModel&&) = delete;
+  virtual ~SwapCostModel() = default;
+
+  /// Score bonus for swapping across coupler (a, b), in units of H_basic
+  /// distance steps. Typically <= 0 (a SWAP always costs fidelity); only
+  /// differences between edges matter. Must be symmetric in (a, b).
+  virtual double bonus(ir::Qubit a, ir::Qubit b) const = 0;
+};
+
+}  // namespace codar::core

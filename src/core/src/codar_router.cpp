@@ -1,6 +1,7 @@
 #include "codar/core/codar_router.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "codar/arch/distance_oracle.hpp"
@@ -40,6 +41,7 @@ class RoutingRun {
       : device_(device),
         config_(config),
         dist_(device.graph.oracle()),
+        cost_(config.swap_cost.get()),
         gates_(input.gates().begin(), input.gates().end()),
         barriers_(input.barrier_count()),
         front_(gates_, config.front_window, config.commutativity_aware),
@@ -52,6 +54,7 @@ class RoutingRun {
         blocked_scratch_(common::ArenaAllocator<int>(arena)),
         cand_scratch_(common::ArenaAllocator<SwapCandidate>(arena)),
         prio_scratch_(common::ArenaAllocator<SwapPriority>(arena)),
+        bonus_scratch_(common::ArenaAllocator<double>(arena)),
         endpoints_scratch_(common::ArenaAllocator<GateEndpoints>(arena)),
         edge_seen_(device.graph.num_edges(), 0,
                    common::ArenaAllocator<std::uint32_t>(arena)),
@@ -204,12 +207,35 @@ class RoutingRun {
     ++stats_.swaps_inserted;
   }
 
+  /// Mixed fidelity-aware score of cached candidate `i` (swap_cost set):
+  /// alpha * H_basic + the model's per-edge bonus. Deterministic — every
+  /// term is a pure function of the candidate edge and the cached basic.
+  double score_of(std::size_t i) const {
+    return config_.alpha * static_cast<double>(prio_scratch_[i].basic) +
+           bonus_scratch_[i];
+  }
+
   /// Index of the best candidate by cached priority (first strict maximum
-  /// in candidate order, as the rescan loop's linear argmax).
+  /// in candidate order, as the rescan loop's linear argmax). Under
+  /// swap_cost scoring the score is compared first; ⟨H_basic, H_fine⟩
+  /// breaks exact score ties, so zero-bonus models reproduce the paper
+  /// ordering exactly.
   std::size_t best_candidate() const {
     std::size_t best = 0;
+    if (cost_ == nullptr) {
+      for (std::size_t i = 1; i < prio_scratch_.size(); ++i) {
+        if (prio_scratch_[i] > prio_scratch_[best]) best = i;
+      }
+      return best;
+    }
+    double best_score = score_of(0);
     for (std::size_t i = 1; i < prio_scratch_.size(); ++i) {
-      if (prio_scratch_[i] > prio_scratch_[best]) best = i;
+      const double score = score_of(i);
+      if (score > best_score ||
+          (score == best_score && prio_scratch_[i] > prio_scratch_[best])) {
+        best = i;
+        best_score = score;
+      }
     }
     return best;
   }
@@ -261,10 +287,12 @@ class RoutingRun {
       if (drop(cand_scratch_[i])) continue;
       cand_scratch_[kept] = cand_scratch_[i];
       prio_scratch_[kept] = prio_scratch_[i];
+      if (cost_ != nullptr) bonus_scratch_[kept] = bonus_scratch_[i];
       ++kept;
     }
     cand_scratch_.resize(kept);
     prio_scratch_.resize(kept);
+    if (cost_ != nullptr) bonus_scratch_.resize(kept);
   }
 
   bool swap_step() {
@@ -277,6 +305,14 @@ class RoutingRun {
       prio_scratch_.push_back(swap_priority_delta(
           endpoints_scratch_, dist_, device_.graph, cand,
           config_.fine_priority));
+    }
+    if (cost_ != nullptr) {
+      // Bonuses are per-edge constants (state-free by contract), so one
+      // fill per pricing round survives every refresh_after_swap.
+      bonus_scratch_.clear();
+      for (const SwapCandidate& cand : cand_scratch_) {
+        bonus_scratch_.push_back(cost_->bonus(cand.a, cand.b));
+      }
     }
     bool inserted_any = false;
     while (!cand_scratch_.empty()) {
@@ -324,13 +360,25 @@ class RoutingRun {
     collect_cf_endpoints();
     std::size_t best = 0;
     SwapPriority best_priority;
+    double best_score = 0.0;
     for (std::size_t i = 0; i < cand_scratch_.size(); ++i) {
       const SwapPriority p =
           swap_priority_delta(endpoints_scratch_, dist_, device_.graph,
                               cand_scratch_[i], config_.fine_priority);
-      if (i == 0 || p > best_priority) {
+      const double score =
+          cost_ == nullptr
+              ? 0.0
+              : config_.alpha * static_cast<double>(p.basic) +
+                    cost_->bonus(cand_scratch_[i].a, cand_scratch_[i].b);
+      const bool improves =
+          cost_ == nullptr
+              ? p > best_priority
+              : score > best_score ||
+                    (score == best_score && p > best_priority);
+      if (i == 0 || improves) {
         best = i;
         best_priority = p;
+        best_score = score;
       }
     }
     last_forced_ = cand_scratch_[best];
@@ -369,6 +417,7 @@ class RoutingRun {
   const arch::Device& device_;
   const CodarConfig& config_;
   const arch::DistanceOracle& dist_;  ///< Cached distance backend.
+  const SwapCostModel* cost_;  ///< Fidelity-aware scoring, or null (paper).
 
   std::vector<Gate> gates_;
   std::size_t barriers_;  ///< Barrier fences in the input (stat reporting).
@@ -388,6 +437,7 @@ class RoutingRun {
   common::ArenaVector<int> blocked_scratch_;  ///< Blocked CF gate indices.
   common::ArenaVector<SwapCandidate> cand_scratch_;  ///< Candidate SWAP edges.
   common::ArenaVector<SwapPriority> prio_scratch_;   ///< Cached priorities.
+  common::ArenaVector<double> bonus_scratch_;  ///< Per-edge cost bonuses.
   common::ArenaVector<GateEndpoints> endpoints_scratch_;  ///< CF 2q under π.
   common::ArenaVector<std::uint32_t> edge_seen_;  ///< Edge-id dedup stamps.
   std::uint32_t edge_stamp_ = 0;
@@ -404,6 +454,7 @@ CodarRouter::CodarRouter(const arch::Device& device, CodarConfig config)
     : device_(device), config_(config) {
   CODAR_EXPECTS(device.graph.is_fully_connected());
   CODAR_EXPECTS(config.stagnation_threshold >= 1);
+  CODAR_EXPECTS(std::isfinite(config.alpha));
   if (!config.duration_aware) {
     // Duration-blind ablation: the router's clock pretends every gate
     // takes one cycle (SWAP 3), heterogeneous timing included — so the

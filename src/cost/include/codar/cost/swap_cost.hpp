@@ -1,0 +1,43 @@
+#pragma once
+
+// The production SwapCostModel: prices every coupler of a device once at
+// construction as
+//
+//   bonus(a, b) = beta * ln F_swap(a, b) − gamma * dur_swap(a, b) · λ
+//
+// where F_swap/dur_swap resolve through Device::fidelity()/duration()
+// (so SWAP = edge-2q³ and per-edge calibration apply) and λ = 1/T1 + 1/T2
+// is the device's decoherence rate (0 on an ideal device). Both terms are
+// <= 0: a SWAP always costs fidelity and time; beta/gamma express how many
+// H_basic distance steps one nat of log-fidelity / one unit of
+// decoherence exposure is worth.
+//
+// Bonuses are quantized to a 1/65536 grid so the router's candidate
+// ordering cannot depend on sub-ulp ln() differences between libm
+// implementations — routing stays bit-reproducible across platforms.
+
+#include <map>
+#include <utility>
+
+#include "codar/arch/device.hpp"
+#include "codar/core/swap_cost.hpp"
+
+namespace codar::cost {
+
+/// Calibrated log-fidelity + decoherence SWAP pricing over one device.
+/// All couplers are priced eagerly, so the model keeps no device
+/// reference and can outlive it (the router holds it by shared_ptr).
+class SwapCost final : public core::SwapCostModel {
+ public:
+  /// beta weighs ln F_swap, gamma weighs the decoherence exposure of the
+  /// SWAP's duration. Both must be finite and >= 0.
+  SwapCost(const arch::Device& device, double beta, double gamma);
+
+  /// (a, b) must be a coupler of the device the model was built from.
+  double bonus(ir::Qubit a, ir::Qubit b) const override;
+
+ private:
+  std::map<std::pair<ir::Qubit, ir::Qubit>, double> bonus_by_edge_;
+};
+
+}  // namespace codar::cost

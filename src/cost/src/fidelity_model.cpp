@@ -1,0 +1,90 @@
+#include "codar/cost/fidelity_model.hpp"
+
+#include <limits>
+
+#include "codar/common/expects.hpp"
+
+namespace codar::cost {
+
+namespace {
+
+/// Combined decoherence rate 1/T1 + 1/T2; each infinite channel
+/// contributes 0, so an ideal device decoheres at rate 0 exactly.
+double decoherence_rate(const arch::Coherence& c) {
+  double rate = 0.0;
+  if (std::isfinite(c.t1)) rate += 1.0 / c.t1;
+  if (std::isfinite(c.t2)) rate += 1.0 / c.t2;
+  return rate;
+}
+
+}  // namespace
+
+EspEstimate FidelityModel::estimate(const ir::Circuit& routed) const {
+  return estimate(routed, schedule::asap_schedule(routed, device_));
+}
+
+EspEstimate FidelityModel::estimate(
+    const ir::Circuit& routed, const schedule::Schedule& schedule) const {
+  CODAR_EXPECTS(schedule.gates.size() == routed.size());
+  EspEstimate out;
+  out.gate_success.reserve(routed.size());
+
+  const std::size_t n = static_cast<std::size_t>(routed.num_qubits());
+  std::vector<char> used(n, 0);
+  std::vector<char> measured(n, 0);
+  for (const ir::Gate& g : routed.gates()) {
+    const double f = device_.fidelity(g, g.qubits());
+    CODAR_EXPECTS(f > 0.0);
+    out.gate_success.push_back(f);
+    for (const ir::Qubit q : g.qubits()) {
+      used[static_cast<std::size_t>(q)] = 1;
+    }
+    if (g.kind() == ir::GateKind::kMeasure) {
+      // Explicit measures land in the readout term (they *are* the
+      // readout of that qubit), never double-counted below.
+      measured[static_cast<std::size_t>(g.qubit(0))] = 1;
+      out.log_readout += std::log(f);
+    } else {
+      out.log_gate += std::log(f);
+    }
+  }
+
+  // Every used qubit is read out at the end of a real run; charge the
+  // ones the circuit does not measure explicitly.
+  for (ir::Qubit q = 0; q < routed.num_qubits(); ++q) {
+    const std::size_t i = static_cast<std::size_t>(q);
+    if (!used[i] || measured[i]) continue;
+    const ir::Qubit phys[] = {q};
+    const double f = device_.fidelity(ir::GateKind::kMeasure, phys);
+    CODAR_EXPECTS(f > 0.0);
+    out.log_readout += std::log(f);
+  }
+
+  const double rate = decoherence_rate(device_.coherence);
+  if (rate > 0.0) {
+    // Per-qubit idle time: lifetime window minus busy time. Gates on one
+    // qubit never overlap (qubit exclusivity), so busy <= window.
+    constexpr auto kNoStart = std::numeric_limits<arch::Duration>::max();
+    std::vector<arch::Duration> first_start(n, kNoStart);
+    std::vector<arch::Duration> last_finish(n, 0);
+    std::vector<arch::Duration> busy(n, 0);
+    for (const schedule::ScheduledGate& sg : schedule.gates) {
+      const ir::Gate& g = routed.gate(sg.gate_index);
+      for (const ir::Qubit q : g.qubits()) {
+        const std::size_t i = static_cast<std::size_t>(q);
+        first_start[i] = std::min(first_start[i], sg.start);
+        last_finish[i] = std::max(last_finish[i], sg.finish);
+        busy[i] += sg.finish - sg.start;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (first_start[i] == kNoStart) continue;
+      const arch::Duration idle =
+          (last_finish[i] - first_start[i]) - busy[i];
+      out.log_decoherence -= static_cast<double>(idle) * rate;
+    }
+  }
+  return out;
+}
+
+}  // namespace codar::cost

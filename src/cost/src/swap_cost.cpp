@@ -1,0 +1,49 @@
+#include "codar/cost/swap_cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "codar/common/expects.hpp"
+
+namespace codar::cost {
+
+namespace {
+
+/// Snaps a bonus onto the 1/65536 grid. ln() is not correctly rounded on
+/// every libm; without this, two platforms could order equal-fidelity
+/// candidates differently and routing would stop being bit-reproducible.
+double quantize(double x) { return std::nearbyint(x * 65536.0) / 65536.0; }
+
+double rate(const arch::Coherence& c) {
+  double r = 0.0;
+  if (std::isfinite(c.t1)) r += 1.0 / c.t1;
+  if (std::isfinite(c.t2)) r += 1.0 / c.t2;
+  return r;
+}
+
+}  // namespace
+
+SwapCost::SwapCost(const arch::Device& device, double beta, double gamma) {
+  CODAR_EXPECTS(std::isfinite(beta) && beta >= 0.0);
+  CODAR_EXPECTS(std::isfinite(gamma) && gamma >= 0.0);
+  const double lambda = rate(device.coherence);
+  for (const auto& [ea, eb] : device.graph.edges()) {
+    const ir::Qubit a = std::min(ea, eb);
+    const ir::Qubit b = std::max(ea, eb);
+    const ir::Qubit phys[] = {a, b};
+    const double f = device.fidelity(ir::GateKind::kSwap, phys);
+    CODAR_EXPECTS(f > 0.0);
+    const double dur =
+        static_cast<double>(device.duration(ir::GateKind::kSwap, phys));
+    bonus_by_edge_[{a, b}] =
+        quantize(beta * std::log(f) - gamma * dur * lambda);
+  }
+}
+
+double SwapCost::bonus(ir::Qubit a, ir::Qubit b) const {
+  const auto it = bonus_by_edge_.find({std::min(a, b), std::max(a, b)});
+  CODAR_EXPECTS(it != bonus_by_edge_.end());
+  return it->second;
+}
+
+}  // namespace codar::cost

@@ -68,8 +68,13 @@
 #include "codar/core/heuristic.hpp"
 #include "codar/core/qubit_lock.hpp"
 #include "codar/core/routing_result.hpp"
+#include "codar/core/swap_cost.hpp"
 #include "codar/core/verify.hpp"
 #include "codar/sabre/sabre_router.hpp"
+
+// Fidelity cost model (ESP estimator + fidelity-aware SWAP pricing).
+#include "codar/cost/fidelity_model.hpp"
+#include "codar/cost/swap_cost.hpp"
 
 // Benchmark workloads.
 #include "codar/workloads/generators.hpp"

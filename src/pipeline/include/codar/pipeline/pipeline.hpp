@@ -50,6 +50,14 @@ struct RouteReport {
   arch::Duration makespan = 0;   ///< Router's own timeline length.
   arch::Duration depth_in = 0;   ///< Duration-weighted depth before routing.
   arch::Duration depth_out = 0;  ///< ... and after (the paper's metric).
+  /// Estimated success probability of the routed circuit under the
+  /// device's calibrated fidelities + coherence (cost::FidelityModel).
+  /// Log-space is the primary value (ESP underflows double for deep
+  /// circuits); est_success_probability = exp(log_esp). Unlike the
+  /// integer counters these are doubles — deterministic for a fixed
+  /// platform, but the JSON rendering rounds-trips them exactly, so
+  /// cross-platform comparisons should allow ulp-level slack.
+  double log_esp = 0.0;
   std::string routed_qasm;       ///< Empty unless rendering was requested.
   /// Per-stage wall times in execution order; presentation-only (see
   /// StageTiming).

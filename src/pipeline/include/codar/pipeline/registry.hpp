@@ -142,4 +142,8 @@ class MappingRegistry : public PassRegistry<MappingEntry> {
 /// throwing UsageError on garbage.
 long long knob_int(const std::string& flag, const std::string& value);
 
+/// Shared helper for knob hooks: parses a mandatory finite floating-point
+/// flag value, throwing UsageError on garbage (inf/nan included).
+double knob_double(const std::string& flag, const std::string& value);
+
 }  // namespace codar::pipeline

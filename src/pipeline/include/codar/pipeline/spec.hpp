@@ -38,6 +38,18 @@ struct RoutingSpec {
   bool verify = true;              ///< Run verify_routing after routing.
   bool peephole = false;           ///< Pre-routing peephole cleanup stage.
 
+  /// Objective weights of the codar-fid pass (--alpha/--beta/--gamma, or
+  /// the same-named serve options): distance, log-fidelity, decoherence.
+  /// Ignored by every other router; with beta = gamma = 0 codar-fid is
+  /// byte-identical to codar. Cache-key relevant (the serve options
+  /// fingerprint folds all three).
+  struct FidWeights {
+    double alpha = 1.0;  ///< Weight of the H_basic distance term.
+    double beta = 5.0;   ///< Weight of ln F_swap per candidate edge.
+    double gamma = 1.0;  ///< Weight of the SWAP-duration decoherence term.
+  };
+  FidWeights fid;
+
   /// Free-form knobs for externally registered passes, which have no
   /// dedicated field above: their factories read values from here. Fed by
   /// `--set KEY=VALUE` on the CLI and the `"extras"` object in serve

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "codar/core/verify.hpp"
+#include "codar/cost/fidelity_model.hpp"
 #include "codar/ir/decompose.hpp"
 #include "codar/ir/peephole.hpp"
 #include "codar/qasm/writer.hpp"
@@ -97,9 +98,14 @@ RouteReport Pipeline::run(const ir::Circuit& circuit, bool keep_qasm) const {
       report.makespan = result->stats.router_makespan;
       // The routed circuit's indices are physical, so the device overload
       // resolves calibration; depth_in above is a *logical* circuit and
-      // deliberately stays on the kind-level durations.
-      report.depth_out =
-          schedule::weighted_depth(result->circuit, *device_);
+      // deliberately stays on the kind-level durations. One schedule
+      // feeds both the weighted depth and the ESP estimate.
+      const schedule::Schedule asap =
+          schedule::asap_schedule(result->circuit, *device_);
+      report.depth_out = asap.makespan;
+      report.log_esp =
+          cost::FidelityModel(*device_).estimate(result->circuit, asap)
+              .log_esp();
     });
 
     if (spec_.verify) {

@@ -1,6 +1,7 @@
 #include "codar/pipeline/registry.hpp"
 
 #include <charconv>
+#include <cmath>
 
 #include "builtins.hpp"
 
@@ -32,6 +33,19 @@ long long knob_int(const std::string& flag, const std::string& value) {
       std::from_chars(value.data(), value.data() + value.size(), result);
   if (ec != std::errc() || ptr != value.data() + value.size()) {
     throw UsageError(flag + " expects an integer, got '" + value + "'");
+  }
+  return result;
+}
+
+double knob_double(const std::string& flag, const std::string& value) {
+  double result = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), result);
+  // from_chars accepts "inf"/"nan" spellings; weight knobs must be real
+  // numbers (their bit patterns feed the options fingerprint).
+  if (ec != std::errc() || ptr != value.data() + value.size() ||
+      !std::isfinite(result)) {
+    throw UsageError(flag + " expects a finite number, got '" + value + "'");
   }
   return result;
 }

@@ -35,6 +35,15 @@ long long require_int(const Json& v, const char* key) {
   return static_cast<long long>(d);
 }
 
+double require_finite(const Json& v, const char* key) {
+  if (!v.is_number()) bad(std::string("'") + key + "' must be a number");
+  const double d = v.as_number();
+  if (!std::isfinite(d)) {
+    bad(std::string("'") + key + "' must be a finite number");
+  }
+  return d;
+}
+
 /// Resolves a router/mapping name against its registry, rewrapping the
 /// registry's UsageError (which lists the registered names) as a
 /// ProtocolError.
@@ -81,6 +90,14 @@ void apply_option(cli::Options& opts, const std::string& key,
     const long long n = require_int(v, "stagnation");
     if (n < 1) bad("'stagnation' must be >= 1");
     opts.codar.stagnation_threshold = static_cast<int>(n);
+  } else if (key == "alpha") {
+    opts.fid.alpha = require_finite(v, "alpha");
+  } else if (key == "beta") {
+    opts.fid.beta = require_finite(v, "beta");
+    if (opts.fid.beta < 0.0) bad("'beta' must be >= 0");
+  } else if (key == "gamma") {
+    opts.fid.gamma = require_finite(v, "gamma");
+    if (opts.fid.gamma < 0.0) bad("'gamma' must be >= 0");
   } else if (key == "extras") {
     // Free-form knobs for externally registered passes, mirroring the
     // CLI's --set KEY=VALUE (see RoutingSpec::extras). String values
@@ -210,7 +227,7 @@ ServeRequest parse_request(const std::string& line,
 
 std::uint64_t options_fingerprint(const cli::Options& opts) {
   common::Fnv1a h;
-  h.u64(2);  // fingerprint schema version (2: registry names, not enums)
+  h.u64(3);  // fingerprint schema version (3: + codar-fid objective weights)
   h.str(opts.router);
   h.str(opts.mapping);
   h.u64(opts.seed);
@@ -223,6 +240,14 @@ std::uint64_t options_fingerprint(const cli::Options& opts) {
   h.byte(opts.codar.fine_priority ? 1 : 0);
   h.i64(opts.codar.front_window);
   h.i64(opts.codar.stagnation_threshold);
+  // Objective weights change routed output for codar-fid, so they are
+  // cache-key relevant. Folded unconditionally (also under codar/sabre,
+  // where they are inert): conditioning on the router name would make two
+  // requests that differ only in an ignored knob alias — harmless — but
+  // cost a router-name comparison on every lookup for no correctness win.
+  h.f64(opts.fid.alpha);
+  h.f64(opts.fid.beta);
+  h.f64(opts.fid.gamma);
   // extras is kept sorted by set_extra, so this is canonical; str() is
   // length-prefixed, so keys and values cannot alias.
   h.u64(opts.extras.size());

@@ -59,6 +59,20 @@ TEST(CalibrationTable, RejectsOutOfContractValues) {
   EXPECT_THROW(table.set_fidelity_2q(0, 1, -0.1), ContractViolation);
 }
 
+TEST(CalibrationTable, RejectsZeroFidelity) {
+  // Fidelities live in (0, 1]: zero is out of contract alongside the
+  // out-of-range values (the ESP estimator works in log-space, and ln(0)
+  // would poison every aggregate it feeds).
+  CalibrationTable table;
+  EXPECT_THROW(table.set_fidelity_1q(0, 0.0), ContractViolation);
+  EXPECT_THROW(table.set_fidelity_readout(0, 0.0), ContractViolation);
+  EXPECT_THROW(table.set_fidelity_2q(0, 1, 0.0), ContractViolation);
+  // The boundary that *is* legal: arbitrarily small but positive, and 1.
+  table.set_fidelity_2q(0, 1, 1e-12);
+  table.set_fidelity_1q(0, 1.0);
+  EXPECT_EQ(table.fidelity_2q(0, 1), 1e-12);
+}
+
 TEST(CalibrationTable, ClearDurationsKeepsFidelities) {
   CalibrationTable table;
   table.set_duration_2q(0, 1, 9);
@@ -142,6 +156,33 @@ TEST(DeviceQueries, CalibrationOverridesResolvePerSite) {
   EXPECT_DOUBLE_EQ(dev.fidelity(ir::GateKind::kH, q2), 0.99);
   EXPECT_DOUBLE_EQ(dev.fidelity(ir::GateKind::kMeasure, q2), 0.8);
   EXPECT_DOUBLE_EQ(dev.fidelity(ir::GateKind::kCX, q23), 1.0);
+}
+
+/// Edges with no calibration entry fall back to the kind-level default —
+/// including SWAP, whose kind default is already the f³ cube when built
+/// through set_all_two_qubit — while calibrated edges resolve to the edge
+/// override (cubed for SWAP).
+TEST(DeviceQueries, MissingEdgeFallsBackToKindLevelSwapCube) {
+  Device dev = ibm_q5_yorktown();
+  dev.fidelities.set_all_two_qubit(0.9);
+  dev.calibration.set_fidelity_2q(0, 1, 0.8);
+
+  const Qubit q01[] = {0, 1};
+  const Qubit q23[] = {2, 3};
+  // Calibrated edge: plain override for CX, cube for SWAP.
+  EXPECT_DOUBLE_EQ(dev.fidelity(ir::GateKind::kCX, q01), 0.8);
+  EXPECT_DOUBLE_EQ(dev.fidelity(ir::GateKind::kSwap, q01),
+                   0.8 * 0.8 * 0.8);
+  // Missing edge: kind defaults, where SWAP is already the derived cube.
+  EXPECT_DOUBLE_EQ(dev.fidelity(ir::GateKind::kCX, q23), 0.9);
+  EXPECT_DOUBLE_EQ(dev.fidelity(ir::GateKind::kSwap, q23),
+                   0.9 * 0.9 * 0.9);
+  // A duration-only entry must not shadow the fidelity fallback (the two
+  // tables are independent).
+  dev.calibration.set_duration_2q(2, 3, 9);
+  EXPECT_DOUBLE_EQ(dev.fidelity(ir::GateKind::kSwap, q23),
+                   0.9 * 0.9 * 0.9);
+  EXPECT_EQ(dev.duration(ir::GateKind::kSwap, q23), 27);
 }
 
 // -- Routing-level guarantees ------------------------------------------------

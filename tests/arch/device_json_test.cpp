@@ -186,6 +186,77 @@ TEST(DeviceJson, RejectsMalformedDescriptions) {
   }
 }
 
+TEST(DeviceJson, FidelityErrorsNameTheOffendingEntry) {
+  // (0, 1] validation with a clear error naming the entry: zero, negative
+  // and >1 all reject, and the message says *which* field was bad.
+  auto expect_names = [](const char* text, const char* entry) {
+    try {
+      device_from_json_text(text);
+      FAIL() << "expected invalid_argument for " << entry;
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(entry), std::string::npos) << what;
+      EXPECT_NE(what.find("(0, 1]"), std::string::npos) << what;
+    }
+  };
+  expect_names(R"({"qubits": 2, "edges": [[0, 1]],
+                   "fidelities": {"2q": 0}})",
+               "'fidelities.2q'");
+  expect_names(R"({"qubits": 2, "edges": [[0, 1]],
+                   "fidelities": {"kinds": {"cx": -0.5}}})",
+               "'fidelities.kinds.cx'");
+  expect_names(R"({"qubits": 2, "edges": [[0, 1]],
+                   "calibration": {"qubits": [
+                     {"qubit": 0, "fidelity_readout": 0}]}})",
+               "'fidelity_readout'");
+  expect_names(R"({"qubits": 2, "edges": [[0, 1]],
+                   "calibration": {"edges": [
+                     {"edge": [0, 1], "fidelity_2q": 1.0001}]}})",
+               "'fidelity_2q'");
+}
+
+TEST(DeviceJson, ParsesAndRoundTripsCoherence) {
+  const Device dev = device_from_json_text(
+      R"({"qubits": 2, "edges": [[0, 1]],
+          "coherence": {"t1": 8000, "t2": 4500.5}})");
+  EXPECT_TRUE(dev.coherence.any_finite());
+  EXPECT_DOUBLE_EQ(dev.coherence.t1, 8000.0);
+  EXPECT_DOUBLE_EQ(dev.coherence.t2, 4500.5);
+
+  // An omitted channel stays infinite (ideal).
+  const Device t2_only = device_from_json_text(
+      R"({"qubits": 2, "edges": [[0, 1]], "coherence": {"t2": 500}})");
+  EXPECT_TRUE(std::isinf(t2_only.coherence.t1));
+  EXPECT_DOUBLE_EQ(t2_only.coherence.t2, 500.0);
+
+  // Canonical round trip, fingerprint included.
+  const std::string text = device_to_json(dev);
+  const Device reloaded = device_from_json_text(text);
+  EXPECT_EQ(reloaded.coherence, dev.coherence);
+  EXPECT_EQ(reloaded.fingerprint(), dev.fingerprint());
+  EXPECT_EQ(device_to_json(reloaded), text);
+
+  // A finite-coherence device never aliases its ideal twin in the route
+  // cache, but an ideal device keeps its historical v2 fingerprint.
+  const Device ideal = device_from_json_text(
+      R"({"qubits": 2, "edges": [[0, 1]]})");
+  EXPECT_NE(dev.fingerprint(), ideal.fingerprint());
+
+  // Validation: non-positive, non-finite and unknown-key coherence.
+  EXPECT_THROW(device_from_json_text(
+                   R"({"qubits": 2, "edges": [[0, 1]],
+                       "coherence": {"t2": 0}})"),
+               std::invalid_argument);
+  EXPECT_THROW(device_from_json_text(
+                   R"({"qubits": 2, "edges": [[0, 1]],
+                       "coherence": {"t1": -5}})"),
+               std::invalid_argument);
+  EXPECT_THROW(device_from_json_text(
+                   R"({"qubits": 2, "edges": [[0, 1]],
+                       "coherence": {"t3": 10}})"),
+               std::invalid_argument);
+}
+
 TEST(DeviceJson, RoundTripPreservesFingerprints) {
   // load(serialize(d)) must fingerprint identically — names included —
   // for every paper preset...

@@ -80,7 +80,8 @@ TEST(CliOptions, UnknownRouterAndMappingListRegisteredNames) {
     FAIL() << "expected UsageError";
   } catch (const UsageError& e) {
     EXPECT_EQ(std::string(e.what()),
-              "unknown router 'qiskit' (expected codar|sabre|astar)");
+              "unknown router 'qiskit' "
+              "(expected codar|codar-fid|sabre|astar)");
   }
   try {
     parse_args({"--initial", "wat", "a.qasm"});
@@ -99,7 +100,7 @@ TEST(CliOptions, ListRoutersAndMappingsFlags) {
   std::ostringstream out;
   std::ostringstream err;
   EXPECT_EQ(run_cli({"--list-routers"}, out, err), 0) << err.str();
-  for (const char* name : {"codar", "sabre", "astar"}) {
+  for (const char* name : {"codar", "codar-fid", "sabre", "astar"}) {
     EXPECT_NE(out.str().find(name), std::string::npos) << out.str();
   }
 

@@ -1,0 +1,207 @@
+// Tests for the cost subsystem's ESP estimator: the closed-form pinned
+// 2-qubit case (every term checked against hand-computed logs), the
+// readout/measure accounting, determinism, and an ordering cross-check
+// against the density-matrix noisy simulator in src/sim — the two models
+// charge decoherence differently (sim integrates busy+idle wall-clock,
+// the ESP estimator prices idle only and folds gate time into calibrated
+// fidelities), so the contract is agreement in *ranking*, not in value.
+
+#include "codar/cost/fidelity_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codar/arch/device.hpp"
+#include "codar/sim/noisy_simulator.hpp"
+
+namespace codar::cost {
+namespace {
+
+using ir::Circuit;
+
+/// linear(2) with mixed kind-level + calibrated fidelities and finite
+/// coherence; the fixture of the closed-form test below.
+arch::Device pinned_device() {
+  arch::Device dev = arch::linear(2);
+  dev.fidelities.set_all_single_qubit(0.999);
+  dev.fidelities.set_all_two_qubit(0.98);
+  dev.fidelities.set_measure(0.95);
+  dev.calibration.set_fidelity_1q(1, 0.995);
+  dev.calibration.set_fidelity_readout(0, 0.9);
+  dev.calibration.set_fidelity_2q(0, 1, 0.97);
+  dev.coherence.t1 = 2000.0;
+  dev.coherence.t2 = 500.0;
+  return dev;
+}
+
+TEST(FidelityModel, ClosedFormTwoQubitEsp) {
+  const arch::Device dev = pinned_device();
+  // ASAP: x q1 [0,1), h q0 [0,1), h q0 [1,2), cx [2,4). Qubit 0 is never
+  // idle; qubit 1 idles exactly one cycle (between the x and the cx).
+  Circuit c(2);
+  c.x(1);
+  c.h(0);
+  c.h(0);
+  c.cx(0, 1);
+  const EspEstimate est = FidelityModel(dev).estimate(c);
+
+  // Gate term: the x resolves through qubit 1's 1q calibration, the two
+  // h through the kind-level default, the cx through its edge override.
+  const double log_gate = std::log(0.995) + 2.0 * std::log(0.999) +
+                          std::log(0.97);
+  // Readout: no explicit measures, so both used qubits are charged once —
+  // qubit 0 via its readout calibration, qubit 1 via the kind level.
+  const double log_readout = std::log(0.9) + std::log(0.95);
+  // Decoherence: one idle cycle on qubit 1 at rate 1/2000 + 1/500.
+  const double log_deco = -1.0 * (1.0 / 2000.0 + 1.0 / 500.0);
+
+  EXPECT_NEAR(est.log_gate, log_gate, 1e-12);
+  EXPECT_NEAR(est.log_readout, log_readout, 1e-12);
+  EXPECT_NEAR(est.log_decoherence, log_deco, 1e-12);
+  EXPECT_NEAR(est.log_esp(), log_gate + log_readout + log_deco, 1e-12);
+  EXPECT_NEAR(est.esp(), std::exp(est.log_esp()), 1e-15);
+
+  ASSERT_EQ(est.gate_success.size(), 4u);
+  EXPECT_DOUBLE_EQ(est.gate_success[0], 0.995);
+  EXPECT_DOUBLE_EQ(est.gate_success[1], 0.999);
+  EXPECT_DOUBLE_EQ(est.gate_success[2], 0.999);
+  EXPECT_DOUBLE_EQ(est.gate_success[3], 0.97);
+}
+
+TEST(FidelityModel, ExplicitMeasuresLandInTheReadoutTerm) {
+  const arch::Device dev = pinned_device();
+  Circuit c(2);
+  c.h(0);
+  c.cx(0, 1);
+  c.measure(0);
+  c.measure(1);
+  const EspEstimate est = FidelityModel(dev).estimate(c);
+  // Both measures are explicit: the readout term is exactly their
+  // resolved fidelities, with no extra end-of-run charge.
+  EXPECT_NEAR(est.log_readout, std::log(0.9) + std::log(0.95), 1e-12);
+  EXPECT_NEAR(est.log_gate, std::log(0.999) + std::log(0.97), 1e-12);
+  ASSERT_EQ(est.gate_success.size(), 4u);
+  EXPECT_DOUBLE_EQ(est.gate_success[2], 0.9);   // measure q0
+  EXPECT_DOUBLE_EQ(est.gate_success[3], 0.95);  // measure q1
+
+  // Measuring only one qubit still charges the other's readout once.
+  Circuit half(2);
+  half.h(0);
+  half.cx(0, 1);
+  half.measure(1);
+  const EspEstimate part = FidelityModel(dev).estimate(half);
+  EXPECT_NEAR(part.log_readout, std::log(0.95) + std::log(0.9), 1e-12);
+}
+
+TEST(FidelityModel, IdealDeviceGivesUnitEsp) {
+  const arch::Device dev = arch::linear(3);  // ideal fidelities, no T1/T2
+  Circuit c(3);
+  c.h(0);
+  c.cx(0, 1);
+  c.cx(1, 2);
+  const EspEstimate est = FidelityModel(dev).estimate(c);
+  EXPECT_EQ(est.log_esp(), 0.0);
+  EXPECT_EQ(est.esp(), 1.0);
+  for (double f : est.gate_success) EXPECT_EQ(f, 1.0);
+}
+
+TEST(FidelityModel, EstimatesAreDeterministic) {
+  const arch::Device dev = pinned_device();
+  Circuit c(2);
+  c.h(0);
+  c.x(1);
+  c.cx(0, 1);
+  c.h(1);
+  const EspEstimate a = FidelityModel(dev).estimate(c);
+  const EspEstimate b = FidelityModel(dev).estimate(c);
+  EXPECT_EQ(a.log_gate, b.log_gate);
+  EXPECT_EQ(a.log_readout, b.log_readout);
+  EXPECT_EQ(a.log_decoherence, b.log_decoherence);
+  EXPECT_EQ(a.gate_success, b.gate_success);
+}
+
+TEST(FidelityModel, UntouchedQubitsCostNothing) {
+  // Device register wider than the circuit's footprint: qubit 2 of the
+  // linear(3) device is never used, so it contributes no readout and no
+  // decoherence charge.
+  arch::Device dev = arch::linear(3);
+  dev.fidelities.set_measure(0.9);
+  dev.coherence.t2 = 100.0;
+  Circuit c(3);
+  c.h(0);
+  c.cx(0, 1);
+  const EspEstimate est = FidelityModel(dev).estimate(c);
+  EXPECT_NEAR(est.log_readout, 2.0 * std::log(0.9), 1e-12);
+  EXPECT_EQ(est.log_decoherence, 0.0);  // no idle gaps in this schedule
+}
+
+TEST(FidelityModel, OrderingAgreesWithNoisySimulator) {
+  // Same logical content, one version artificially serialized so qubit 0
+  // idles; the analytic ESP and the exact density-matrix fidelity both
+  // must rank the parallel version higher. Gate fidelities stay ideal so
+  // the comparison isolates the decoherence term (the one place the two
+  // models differ in accounting).
+  Circuit fast(2, "fast");
+  fast.h(0);
+  fast.cx(0, 1);
+  Circuit slow(2, "slow");
+  slow.h(0);
+  for (int i = 0; i < 6; ++i) {
+    slow.x(1);
+    slow.x(1);
+  }
+  slow.cx(0, 1);
+
+  arch::Device dev = arch::linear(2);
+  dev.coherence.t2 = 40.0;
+  const FidelityModel model(dev);
+  const double esp_fast = model.estimate(fast).log_esp();
+  const double esp_slow = model.estimate(slow).log_esp();
+  EXPECT_GT(esp_fast, esp_slow);
+
+  const sim::NoiseParams noise = sim::NoiseParams::dephasing_dominant(40.0);
+  const double sim_fast =
+      sim::noisy_fidelity_density(fast, 2, dev.durations, noise);
+  const double sim_slow =
+      sim::noisy_fidelity_density(slow, 2, dev.durations, noise);
+  EXPECT_GT(sim_fast, sim_slow);
+
+  // And both models agree the noiseless limit is ~1.
+  arch::Device ideal = arch::linear(2);
+  EXPECT_EQ(FidelityModel(ideal).estimate(fast).esp(), 1.0);
+  EXPECT_NEAR(sim::noisy_fidelity_density(fast, 2, ideal.durations,
+                                          sim::NoiseParams{}),
+              1.0, 1e-10);
+}
+
+TEST(FidelityModel, MoreIdleMeansLowerEspInBothModels) {
+  // Monotonicity across a family of circuits with growing idle windows:
+  // the analytic estimate and the simulator must order the family the
+  // same way (strictly decreasing ESP/fidelity as idling grows).
+  arch::Device dev = arch::linear(2);
+  dev.coherence.t1 = 120.0;
+  dev.coherence.t2 = 60.0;
+  const sim::NoiseParams noise{120.0, 60.0};
+  double prev_esp = 1.0;
+  double prev_sim = 1.0;
+  for (int pairs = 1; pairs <= 3; ++pairs) {
+    Circuit c(2);
+    c.h(0);
+    for (int i = 0; i < 4 * pairs; ++i) {
+      c.x(1);
+      c.x(1);
+    }
+    c.cx(0, 1);
+    const double esp = FidelityModel(dev).estimate(c).esp();
+    const double fid =
+        sim::noisy_fidelity_density(c, 2, dev.durations, noise);
+    EXPECT_LT(esp, prev_esp) << pairs;
+    EXPECT_LT(fid, prev_sim) << pairs;
+    prev_esp = esp;
+    prev_sim = fid;
+  }
+}
+
+}  // namespace
+}  // namespace codar::cost

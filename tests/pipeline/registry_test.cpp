@@ -13,15 +13,16 @@ namespace {
 
 TEST(RouterRegistry, BuiltinsAreRegisteredInOrder) {
   const RouterRegistry& reg = RouterRegistry::instance();
-  ASSERT_GE(reg.entries().size(), 3u);
+  ASSERT_GE(reg.entries().size(), 4u);
   EXPECT_EQ(reg.entries()[0].name, "codar");
-  EXPECT_EQ(reg.entries()[1].name, "sabre");
-  EXPECT_EQ(reg.entries()[2].name, "astar");
+  EXPECT_EQ(reg.entries()[1].name, "codar-fid");
+  EXPECT_EQ(reg.entries()[2].name, "sabre");
+  EXPECT_EQ(reg.entries()[3].name, "astar");
   for (const RouterEntry& e : reg.entries()) {
     EXPECT_FALSE(e.description.empty()) << e.name;
     EXPECT_TRUE(static_cast<bool>(e.make)) << e.name;
   }
-  EXPECT_EQ(reg.names(), "codar|sabre|astar");
+  EXPECT_EQ(reg.names(), "codar|codar-fid|sabre|astar");
 }
 
 TEST(MappingRegistry, BuiltinsAreRegisteredInOrder) {
@@ -40,7 +41,8 @@ TEST(PassRegistry, UnknownNamesListRegisteredOnes) {
     FAIL() << "expected UsageError";
   } catch (const UsageError& e) {
     EXPECT_EQ(std::string(e.what()),
-              "unknown router 'qiskit' (expected codar|sabre|astar)");
+              "unknown router 'qiskit' "
+              "(expected codar|codar-fid|sabre|astar)");
   }
   try {
     MappingRegistry::instance().at("annealed");
@@ -89,6 +91,23 @@ TEST(PassRegistry, RouterKnobHooksParseCodarFlags) {
                UsageError);
   // Flags no pass owns are left for the caller.
   EXPECT_FALSE(reg.parse_knob(spec, "--batch", no_value));
+}
+
+TEST(PassRegistry, RouterKnobHooksParseFidWeights) {
+  RoutingSpec spec;
+  const RouterRegistry& reg = RouterRegistry::instance();
+  EXPECT_TRUE(reg.parse_knob(spec, "--alpha", [] { return "1.5"; }));
+  EXPECT_EQ(spec.fid.alpha, 1.5);
+  EXPECT_TRUE(reg.parse_knob(spec, "--beta", [] { return "0"; }));
+  EXPECT_EQ(spec.fid.beta, 0.0);
+  EXPECT_TRUE(reg.parse_knob(spec, "--gamma", [] { return "2.25"; }));
+  EXPECT_EQ(spec.fid.gamma, 2.25);
+  EXPECT_THROW(reg.parse_knob(spec, "--beta", [] { return "steep"; }),
+               UsageError);
+  EXPECT_THROW(reg.parse_knob(spec, "--beta", [] { return "inf"; }),
+               UsageError);
+  EXPECT_THROW(reg.parse_knob(spec, "--gamma", [] { return "-1"; }),
+               UsageError);
 }
 
 TEST(PassRegistry, MappingKnobHooksParseSeedAndRounds) {

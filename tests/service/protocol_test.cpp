@@ -121,6 +121,26 @@ TEST(ParseRequest, ExtrasOptionFillsSpecExtras) {
                ProtocolError);
 }
 
+TEST(ParseRequest, FidWeightOptionsParseAndValidate) {
+  const ServeRequest req = parse_request(
+      R"({"suite_name": "ghz_3", "router": "codar-fid",
+          "options": {"alpha": 1.5, "beta": 0, "gamma": 2.25}})",
+      defaults());
+  EXPECT_EQ(req.opts.router, "codar-fid");
+  EXPECT_EQ(req.opts.fid.alpha, 1.5);
+  EXPECT_EQ(req.opts.fid.beta, 0.0);
+  EXPECT_EQ(req.opts.fid.gamma, 2.25);
+  // Numbers only; beta/gamma must be >= 0.
+  EXPECT_THROW(parse_request(R"({"suite_name": "ghz_3",
+                                 "options": {"beta": "5"}})",
+                             defaults()),
+               ProtocolError);
+  EXPECT_THROW(parse_request(R"({"suite_name": "ghz_3",
+                                 "options": {"gamma": -1}})",
+                             defaults()),
+               ProtocolError);
+}
+
 TEST(ParseRequest, FullRouteRequest) {
   const ServeRequest req = parse_request(
       R"({"id": "abc", "qasm": "OPENQASM 2.0;", "device": "linear:5",

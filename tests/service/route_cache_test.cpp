@@ -92,10 +92,13 @@ TEST(RouteCache, RealFingerprintsGiveDistinctKeys) {
   reseeded.seed = base.seed + 1;
   cli::Options with_extra = base;
   with_extra.set_extra("beam", "8");
+  cli::Options reweighted = base;
+  reweighted.fid.beta = 0.0;  // result-changing for codar-fid
   EXPECT_NE(options_fingerprint(base), options_fingerprint(sabre));
   EXPECT_NE(options_fingerprint(base), options_fingerprint(no_context));
   EXPECT_NE(options_fingerprint(base), options_fingerprint(reseeded));
   EXPECT_NE(options_fingerprint(base), options_fingerprint(with_extra));
+  EXPECT_NE(options_fingerprint(base), options_fingerprint(reweighted));
 
   EXPECT_NE(arch::ibm_q20_tokyo().fingerprint(),
             arch::enfield_6x6().fingerprint());
