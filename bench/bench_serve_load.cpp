@@ -1,28 +1,33 @@
 // Load generator for the socket-transport `codar serve`: spins up an
 // in-process TCP server, then drives it with concurrent pipelined NDJSON
-// clients over three request mixes — sequential (each client walks the
-// 71-benchmark suite in order), uniform (random benchmark per request)
-// and zipf (skewed toward the head of the suite, the classic hot-key
-// cache shape). A deterministic slice of every mix ships an inline
-// calibrated device object instead of the server's default device spec,
-// so the content-addressed device path is on the measured path too.
+// clients over four request mixes — sequential (each client walks the
+// 71-benchmark suite in order), uniform (random benchmark per request),
+// zipf (skewed toward the head of the suite, the classic hot-key cache
+// shape) and warm_start (the sequential mix against a server restarted on
+// a populated --cache-dir, so every request is answered by the persistent
+// tier without routing). A deterministic slice of every mix ships an
+// inline calibrated device object instead of the server's default device
+// spec, so the content-addressed device path is on the measured path too.
 //
 //   bench_serve_load [OUTPUT.json] [--clients N] [--requests N]
 //                    [--seed S] [--threads N]
 //
-// Emitted per mix: request/routed/error and cache-hit/miss counters —
-// which are exact under concurrency (single-flight: every distinct
-// (circuit, device, options) key routes exactly once, so the counts
-// depend only on the seeded request sequences, never on scheduling) and
-// therefore CI-gated via BENCH_serve.json — plus throughput and
-// p50/p95/p99 request latency, which are machine-dependent and stay
-// informational. The RNG is raw mt19937_64 arithmetic (no std::
-// distributions, whose mappings vary by standard library) so the gated
-// counts are identical on every platform.
+// Emitted per mix: request/routed/error, cache-hit/miss and disk-hit
+// counters — which are exact under concurrency (single-flight: every
+// distinct (circuit, device, options) key routes — and probes disk —
+// exactly once, so the counts depend only on the seeded request
+// sequences, never on scheduling) and therefore CI-gated via
+// BENCH_serve.json — plus throughput and p50/p95/p99 request latency,
+// which are machine-dependent and stay informational. The RNG is raw
+// mt19937_64 arithmetic (no std:: distributions, whose mappings vary by
+// standard library) so the gated counts are identical on every platform.
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -82,13 +87,14 @@ class NdjsonClient {
   std::string buffer_;
 };
 
-enum class Mix { kSequential, kUniform, kZipf };
+enum class Mix { kSequential, kUniform, kZipf, kWarmStart };
 
 const char* mix_name(Mix mix) {
   switch (mix) {
     case Mix::kSequential: return "sequential";
     case Mix::kUniform: return "uniform";
     case Mix::kZipf: return "zipf";
+    case Mix::kWarmStart: return "warm_start";
   }
   return "?";
 }
@@ -128,6 +134,7 @@ struct MixRow {
   std::uint64_t errors = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  std::uint64_t disk_hits = 0;
   std::uint64_t cache_entries = 0;
   double wall_ms = 0.0;
   double throughput_rps = 0.0;
@@ -193,28 +200,19 @@ int main(int argc, char** argv) {
   std::uint64_t total_requests = 0;
   bool healthy = true;
 
-  const Mix mixes[] = {Mix::kSequential, Mix::kUniform, Mix::kZipf};
-  bool first_row = true;
-  for (std::size_t m = 0; m < 3; ++m) {
-    const Mix mix = mixes[m];
-
-    // Every mix gets a fresh server (and so a cold cache): the gated
-    // counters then describe this mix alone.
-    codar::service::ServeOptions sopts;
-    sopts.defaults.device = "enfield";
-    sopts.defaults.threads = threads;
-    sopts.listen = "tcp:127.0.0.1:0";
-    const auto handle = codar::service::start_serve(sopts);
-
-    std::vector<ClientResult> per_client(
-        static_cast<std::size_t>(clients));
-    const Clock::time_point wall_start = Clock::now();
+  // Drives `clients` concurrent pipelined connections against `handle`
+  // with mix `mix`; `m` seeds the per-mix RNG stream. The warm_start mix
+  // replays the sequential request sequence exactly (same seed index), so
+  // the persistent tier holds every key the measured pass asks for.
+  auto drive_load = [&](codar::service::ServerHandle& handle, Mix mix,
+                        std::size_t m,
+                        std::vector<ClientResult>& per_client) {
     std::vector<std::thread> workers;
     workers.reserve(static_cast<std::size_t>(clients));
     for (int c = 0; c < clients; ++c) {
-      workers.emplace_back([&, c] {
+      workers.emplace_back([&, mix, m, c] {
         ClientResult& out = per_client[static_cast<std::size_t>(c)];
-        NdjsonClient client(handle->endpoint());
+        NdjsonClient client(handle.endpoint());
         std::mt19937_64 rng(seed * 1000003ULL + m * 1009ULL +
                             static_cast<std::uint64_t>(c));
         std::vector<Clock::time_point> sent(
@@ -227,6 +225,7 @@ int main(int argc, char** argv) {
             std::size_t idx = 0;
             switch (mix) {
               case Mix::kSequential:
+              case Mix::kWarmStart:
                 idx = static_cast<std::size_t>(next) % suite.size();
                 break;
               case Mix::kUniform:
@@ -249,11 +248,11 @@ int main(int argc, char** argv) {
             // the benchmark sequence stays aligned with it.
             if (next % 8 == 5) {
               const std::size_t v =
-                  mix == Mix::kSequential
-                      ? (static_cast<std::size_t>(next) / 8) %
-                            inline_devices.size()
-                      : static_cast<std::size_t>(
-                            rng() % inline_devices.size());
+                  mix == Mix::kUniform || mix == Mix::kZipf
+                      ? static_cast<std::size_t>(
+                            rng() % inline_devices.size())
+                      : (static_cast<std::size_t>(next) / 8) %
+                            inline_devices.size();
               line += ", \"device\": " + inline_devices[v];
             }
             line += "}";
@@ -288,6 +287,52 @@ int main(int argc, char** argv) {
       });
     }
     for (std::thread& t : workers) t.join();
+  };
+
+  const Mix mixes[] = {Mix::kSequential, Mix::kUniform, Mix::kZipf,
+                       Mix::kWarmStart};
+  constexpr std::size_t kMixCount = sizeof mixes / sizeof mixes[0];
+  // The warm_start mix replays the sequential stream, so it reuses the
+  // sequential RNG index — the request sequences must match exactly.
+  const std::size_t mix_seed_index[] = {0, 1, 2, 0};
+  const std::string cache_dir =
+      (std::filesystem::temp_directory_path() /
+       ("codar_serve_bench_cache_" + std::to_string(::getpid())))
+          .string();
+  bool first_row = true;
+  for (std::size_t m = 0; m < kMixCount; ++m) {
+    const Mix mix = mixes[m];
+
+    // Every mix gets a fresh server (and so a cold memory cache): the
+    // gated counters then describe this mix alone.
+    codar::service::ServeOptions sopts;
+    sopts.defaults.device = "enfield";
+    sopts.defaults.threads = threads;
+    sopts.listen = "tcp:127.0.0.1:0";
+    if (mix == Mix::kWarmStart) {
+      // Populate pass (unmeasured): a server on a fresh --cache-dir
+      // routes the sequential mix and persists every report, then stops —
+      // the hard-stop-and-restart shape the persistent tier exists for.
+      std::filesystem::remove_all(cache_dir);
+      sopts.cache_dir = cache_dir;
+      {
+        const auto populate = codar::service::start_serve(sopts);
+        std::vector<ClientResult> ignored(
+            static_cast<std::size_t>(clients));
+        drive_load(*populate, mix, mix_seed_index[m], ignored);
+        for (const ClientResult& r : ignored) {
+          if (!r.transport_ok || r.errors != 0) healthy = false;
+        }
+        populate->shutdown();
+        if (populate->join() != 0) healthy = false;
+      }
+    }
+    const auto handle = codar::service::start_serve(sopts);
+
+    std::vector<ClientResult> per_client(
+        static_cast<std::size_t>(clients));
+    const Clock::time_point wall_start = Clock::now();
+    drive_load(*handle, mix, mix_seed_index[m], per_client);
     const double wall_ms = ms_since(wall_start);
 
     MixRow row;
@@ -330,6 +375,8 @@ int main(int argc, char** argv) {
             static_cast<std::uint64_t>(cache->find("hits")->as_number());
         row.cache_misses =
             static_cast<std::uint64_t>(cache->find("misses")->as_number());
+        row.disk_hits =
+            static_cast<std::uint64_t>(cache->find("disk_hits")->as_number());
         row.cache_entries =
             static_cast<std::uint64_t>(cache->find("entries")->as_number());
       }
@@ -353,6 +400,7 @@ int main(int argc, char** argv) {
               << ", \"errors\": " << row.errors
               << ", \"cache_hits\": " << row.cache_hits
               << ", \"cache_misses\": " << row.cache_misses
+              << ", \"disk_hits\": " << row.disk_hits
               << ", \"cache_entries\": " << row.cache_entries
               << ", \"throughput_rps\": " << row.throughput_rps
               << ", \"p50_ms\": " << row.p50_ms
@@ -360,13 +408,17 @@ int main(int argc, char** argv) {
               << ", \"p99_ms\": " << row.p99_ms
               << ", \"wall_ms\": " << row.wall_ms << "}";
   }
+  {
+    std::error_code ec;
+    std::filesystem::remove_all(cache_dir, ec);
+  }
 
   std::ostringstream json;
   json << "{\"clients\": " << clients
        << ", \"requests_per_client\": " << requests << ", \"seed\": " << seed
        << ",\n \"gated_fields\": [\"requests\", \"routed\", \"errors\", "
-          "\"cache_hits\", \"cache_misses\"],\n \"results\": ["
-       << rows_json.str() << "\n ],\n \"summary\": {\"mixes\": 3"
+          "\"cache_hits\", \"cache_misses\", \"disk_hits\"],\n \"results\": ["
+       << rows_json.str() << "\n ],\n \"summary\": {\"mixes\": 4"
        << ", \"total_requests\": " << total_requests
        << ", \"total_wall_ms\": " << total_wall_ms << "}}\n";
 
@@ -376,7 +428,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   file << json.str();
-  std::cout << total_requests << " requests across 3 mixes in "
+  std::cout << total_requests << " requests across 4 mixes in "
             << total_wall_ms << " ms -> " << output << "\n";
   return healthy ? 0 : 1;
 }

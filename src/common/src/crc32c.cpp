@@ -1,0 +1,69 @@
+#include "codar/common/crc32c.hpp"
+
+#include <array>
+
+namespace codar::common {
+
+namespace {
+
+/// 8 slicing tables for the reflected Castagnoli polynomial, built once at
+/// first use (constant-initialized thereafter; immutable, so shared across
+/// threads without synchronization).
+struct Crc32cTables {
+  std::array<std::array<std::uint32_t, 256>, 8> t;
+
+  Crc32cTables() {
+    constexpr std::uint32_t kPoly = 0x82f63b78u;
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = t[0][i];
+      for (std::size_t k = 1; k < 8; ++k) {
+        crc = t[0][crc & 0xffu] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+const Crc32cTables& tables() {
+  static const Crc32cTables kTables;
+  return kTables;
+}
+
+}  // namespace
+
+void Crc32c::update(const void* data, std::size_t size) {
+  const auto& t = tables().t;
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = state_;
+  // Slice-by-8 over aligned-length middle; byte-at-a-time head and tail.
+  while (size >= 8) {
+    crc ^= static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+    crc = t[7][crc & 0xffu] ^ t[6][(crc >> 8) & 0xffu] ^
+          t[5][(crc >> 16) & 0xffu] ^ t[4][crc >> 24] ^
+          t[3][p[4]] ^ t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+    p += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    crc = t[0][(crc ^ *p++) & 0xffu] ^ (crc >> 8);
+  }
+  state_ = crc;
+}
+
+std::uint32_t crc32c(const void* data, std::size_t size) {
+  Crc32c c;
+  c.update(data, size);
+  return c.value();
+}
+
+}  // namespace codar::common

@@ -1,0 +1,159 @@
+#include "codar/common/file_io.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace codar::common {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what,
+                              const std::string& path) {
+  throw std::runtime_error(what + " '" + path +
+                           "': " + std::strerror(errno));
+}
+
+std::uint64_t fd_size(int fd) {
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) return 0;
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+}  // namespace
+
+AppendFile::AppendFile(const std::string& path) : path_(path) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+               0644);
+  if (fd_ < 0) throw_errno("cannot open for append", path);
+}
+
+AppendFile::~AppendFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool AppendFile::append(const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::write(fd_, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool AppendFile::sync() { return ::fsync(fd_) == 0; }
+
+std::uint64_t AppendFile::size() const { return fd_size(fd_); }
+
+RandomReadFile::RandomReadFile(const std::string& path) : path_(path) {
+  fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd_ < 0) throw_errno("cannot open for read", path);
+}
+
+RandomReadFile::~RandomReadFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool RandomReadFile::read_at(std::uint64_t offset, std::size_t size,
+                             void* out) const {
+  char* p = static_cast<char*>(out);
+  while (size > 0) {
+    const ssize_t n =
+        ::pread(fd_, p, size, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF inside the requested span
+    p += n;
+    offset += static_cast<std::uint64_t>(n);
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::uint64_t RandomReadFile::size() const { return fd_size(fd_); }
+
+DirLock::DirLock(const std::string& dir, const std::string& name) {
+  const std::string path = dir + "/" + name;
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) throw_errno("cannot open lock file", path);
+  if (::flock(fd_, LOCK_EX | LOCK_NB) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("store directory '" + dir +
+                             "' is locked by another process");
+  }
+}
+
+DirLock::~DirLock() {
+  if (fd_ >= 0) ::close(fd_);  // close releases the flock
+}
+
+void ensure_directory(const std::string& dir) {
+  // Create each prefix in turn; EEXIST on a directory is fine.
+  std::string prefix;
+  std::size_t pos = 0;
+  while (pos <= dir.size()) {
+    const std::size_t next = dir.find('/', pos);
+    prefix = next == std::string::npos ? dir : dir.substr(0, next);
+    pos = next == std::string::npos ? dir.size() + 1 : next + 1;
+    if (prefix.empty()) continue;  // leading '/'
+    if (::mkdir(prefix.c_str(), 0755) == 0 || errno == EEXIST) continue;
+    throw_errno("cannot create directory", prefix);
+  }
+  struct stat st {};
+  if (::stat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    throw std::runtime_error("'" + dir + "' is not a directory");
+  }
+}
+
+std::vector<std::string> list_files_with_prefix(const std::string& dir,
+                                                const std::string& prefix) {
+  std::vector<std::string> names;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return names;
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.rfind(prefix, 0) != 0) continue;
+    struct stat st {};
+    if (::stat((dir + "/" + name).c_str(), &st) != 0 ||
+        !S_ISREG(st.st_mode)) {
+      continue;
+    }
+    names.push_back(name);
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+bool truncate_file(const std::string& path, std::uint64_t size) {
+  return ::truncate(path.c_str(), static_cast<off_t>(size)) == 0;
+}
+
+bool remove_file(const std::string& path) {
+  return ::unlink(path.c_str()) == 0;
+}
+
+std::uint64_t file_size(const std::string& path) {
+  struct stat st {};
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+}  // namespace codar::common

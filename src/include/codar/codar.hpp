@@ -18,7 +18,9 @@
 // building block directly.
 
 // Shared utilities.
+#include "codar/common/crc32c.hpp"
 #include "codar/common/expects.hpp"
+#include "codar/common/file_io.hpp"
 #include "codar/common/fnv.hpp"
 #include "codar/common/rng.hpp"
 #include "codar/common/table.hpp"
@@ -85,6 +87,10 @@
 #include "codar/pipeline/registry.hpp"
 #include "codar/pipeline/routing_pass.hpp"
 #include "codar/pipeline/spec.hpp"
+
+// Persistent route-report store (crash-safe append-only log).
+#include "codar/store/log_store.hpp"
+#include "codar/store/report_codec.hpp"
 
 // Application layers: the CLI driver library and the serve service.
 #include "codar/cli/device_registry.hpp"

@@ -42,6 +42,18 @@ struct ServeOptions {
   cli::Options defaults;
   std::size_t cache_bytes = 256u << 20;  ///< Route-cache budget; 0 = off.
   int cache_shards = 8;
+  /// Persistent route-cache directory (store::LogStore). Empty = memory
+  /// only. With a directory set, every routed report is appended to a
+  /// crash-safe on-disk log and a restarted server serves its history as
+  /// disk hits instead of re-routing. Requires cache_bytes > 0.
+  std::string cache_dir;
+  /// Disk-tier byte budget (live record bytes; 0 = unbounded). Oldest
+  /// entries are evicted past it.
+  std::size_t cache_disk_bytes = 1u << 30;
+  /// Preload the N most recently appended disk entries into the memory
+  /// tier at boot (0 = off), so a restarted server answers its hot set
+  /// from memory immediately.
+  std::size_t warm_start = 0;
   /// Transport endpoint: `stdio` (default), `tcp:HOST:PORT` (port 0 =
   /// kernel-chosen) or `unix:PATH`.
   std::string listen = "stdio";
@@ -60,8 +72,9 @@ struct ServeOptions {
 
 /// Parses `codar serve` arguments (everything after the subcommand word).
 /// Accepts every routing flag of the batch CLI as a request default, plus
-/// --cache-bytes / --cache-shards / --listen / --max-inflight /
-/// --idle-timeout-ms / --max-line-bytes. Throws cli::UsageError.
+/// --cache-bytes / --cache-shards / --cache-dir / --cache-disk-bytes /
+/// --warm-start / --listen / --max-inflight / --idle-timeout-ms /
+/// --max-line-bytes. Throws cli::UsageError.
 ServeOptions parse_serve_args(const std::vector<std::string>& args);
 
 /// The `codar serve --help` text.
@@ -87,7 +100,8 @@ class ServerHandle {
 
 /// Starts a socket-mode server for `opts` (opts.listen must be tcp:/unix:)
 /// and returns once it is accepting. Throws std::runtime_error when the
-/// endpoint cannot be bound or the default device is invalid. This is the
+/// endpoint cannot be bound, the default device is invalid, or cache_dir
+/// is unusable (unwritable, or locked by another server). This is the
 /// in-process entry the socket tests and the load bench drive.
 std::unique_ptr<ServerHandle> start_serve(const ServeOptions& opts);
 

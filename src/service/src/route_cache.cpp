@@ -2,8 +2,17 @@
 
 #include "codar/common/expects.hpp"
 #include "codar/common/fnv.hpp"
+#include "codar/store/report_codec.hpp"
 
 namespace codar::service {
+
+namespace {
+
+store::Fingerprint to_fingerprint(const CacheKey& key) {
+  return store::Fingerprint{key.circuit, key.device, key.options};
+}
+
+}  // namespace
 
 std::size_t RouteCache::KeyHash::operator()(const CacheKey& k) const {
   common::Fnv1a h;
@@ -62,6 +71,14 @@ void RouteCache::insert_locked(Shard& shard, const CacheKey& key,
   }
 }
 
+void RouteCache::preload(const CacheKey& key, const cli::RouteReport& report) {
+  if (byte_budget_ == 0) return;
+  Shard& shard = shard_for(key);
+  const common::MutexLock lock(shard.m);
+  if (shard.index.contains(key)) return;  // already resident
+  insert_locked(shard, key, report);
+}
+
 cli::RouteReport RouteCache::get_or_route(
     const CacheKey& key, const std::function<cli::RouteReport()>& route,
     bool* hit) {
@@ -81,7 +98,7 @@ cli::RouteReport RouteCache::get_or_route(
   {
     const common::MutexLock lock(shard.m);
     if (const auto it = shard.index.find(key); it != shard.index.end()) {
-      ++shard.hits;
+      ++shard.mem_hits;
       ++it->second->hits;
       // Refresh LRU position.
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -90,14 +107,15 @@ cli::RouteReport RouteCache::get_or_route(
     }
     if (const auto it = shard.inflight.find(key);
         it != shard.inflight.end()) {
-      // Someone is already routing this key: wait for their result
-      // instead of burning a worker on a duplicate route.
+      // Someone is already probing disk / routing this key: wait for their
+      // result instead of burning a worker on duplicate work.
       flight = it->second;
-      ++shard.hits;
+      ++shard.mem_hits;
     } else {
       flight = std::make_shared<Inflight>();
       shard.inflight.emplace(key, flight);
-      ++shard.misses;
+      // Whether this counts as a disk hit or a miss is decided below,
+      // once the disk probe has resolved.
       owner = true;
     }
   }
@@ -109,16 +127,38 @@ cli::RouteReport RouteCache::get_or_route(
     return flight->report;
   }
 
-  // Single-flight owner: route outside every lock, then publish.
+  // Single-flight owner: probe the disk tier, then route on a double
+  // miss — all outside every shard lock (the store has its own mutex).
   cli::RouteReport report;
-  try {
-    report = route();
-  } catch (const std::exception& e) {
-    report.error = e.what();
+  bool from_disk = false;
+  if (store_ != nullptr) {
+    std::string payload;
+    if (store_->get(to_fingerprint(key), &payload)) {
+      // An undecodable payload (format-version bump, bit rot caught by
+      // the CRC upstream) simply falls through to routing.
+      from_disk = store::decode_report(payload, &report);
+    }
+  }
+  if (!from_disk) {
+    try {
+      report = route();
+    } catch (const std::exception& e) {
+      report.error = e.what();
+    }
+    // Persist fresh successful routes; error reports are transient (a
+    // bad request re-fails cheaply, and must not shadow a later fix).
+    if (store_ != nullptr && report.error.empty()) {
+      store_->put(to_fingerprint(key), store::encode_report(report));
+    }
   }
   {
     const common::MutexLock lock(shard.m);
     insert_locked(shard, key, report);
+    if (from_disk) {
+      ++shard.disk_hits;
+    } else {
+      ++shard.misses;
+    }
     shard.inflight.erase(key);
   }
   {
@@ -127,7 +167,7 @@ cli::RouteReport RouteCache::get_or_route(
     flight->ready = true;
   }
   flight->cv.notify_all();
-  if (hit) *hit = false;
+  if (hit) *hit = from_disk;
   return report;
 }
 
@@ -137,9 +177,17 @@ CacheCounters RouteCache::counters() const {
     const common::MutexLock lock(shard.m);
     total.entries += shard.lru.size();
     total.bytes += shard.bytes;
-    total.hits += shard.hits;
+    total.mem_hits += shard.mem_hits;
+    total.disk_hits += shard.disk_hits;
     total.misses += shard.misses;
     total.evictions += shard.evictions;
+  }
+  if (store_ != nullptr) {
+    const store::StoreStats s = store_->stats();
+    total.disk_entries = s.entries;
+    total.disk_bytes = s.live_bytes;
+    total.disk_file_bytes = s.file_bytes;
+    total.disk_evictions = s.evictions;
   }
   return total;
 }

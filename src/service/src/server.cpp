@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <csignal>
 #include <deque>
+#include <iostream>
 #include <istream>
 #include <memory>
 #include <mutex>
@@ -26,6 +27,8 @@
 #include "codar/service/protocol.hpp"
 #include "codar/service/route_cache.hpp"
 #include "codar/service/transport.hpp"
+#include "codar/store/log_store.hpp"
+#include "codar/store/report_codec.hpp"
 #include "codar/workloads/suite.hpp"
 
 namespace codar::service {
@@ -172,8 +175,38 @@ class Server {
     std::shared_ptr<ClientConn> conn;
   };
 
-  explicit Server(const ServeOptions& opts)
-      : opts_(opts), cache_(opts.cache_bytes, opts.cache_shards) {}
+  /// `err` receives the persistent-cache startup note and asynchronous
+  /// store warnings (corruption recovery, compaction); nullptr routes
+  /// warnings to std::cerr and suppresses the note. Opening an unusable
+  /// or locked --cache-dir throws std::runtime_error.
+  explicit Server(const ServeOptions& opts, std::ostream* err = nullptr)
+      : opts_(opts), err_(err), cache_(opts.cache_bytes, opts.cache_shards) {
+    if (opts.cache_dir.empty() || opts.cache_bytes == 0) return;
+    store::LogStoreOptions store_opts;
+    store_opts.max_total_bytes = opts.cache_disk_bytes;
+    // Warnings may fire from any worker (CRC mismatch on a read, a
+    // compaction pass); serialize them onto the err stream.
+    store_opts.log = [this](const std::string& msg) { log_warning(msg); };
+    store_ = store::LogStore::open(opts.cache_dir, std::move(store_opts));
+    cache_.attach_store(store_.get());
+    std::size_t preloaded = 0;
+    if (opts.warm_start > 0) {
+      for (const auto& [fp, payload] :
+           store_->recent_entries(opts.warm_start)) {
+        cli::RouteReport report;
+        // Undecodable payloads (format-version bump) are simply not
+        // preloaded; lookups fall back to routing them.
+        if (!store::decode_report(payload, &report)) continue;
+        cache_.preload(CacheKey{fp.circuit, fp.device, fp.options}, report);
+        ++preloaded;
+      }
+    }
+    if (err_ != nullptr) {
+      *err_ << "route cache dir " << store_->dir() << ": "
+            << store_->stats().entries << " persisted entries, " << preloaded
+            << " preloaded\n";
+    }
+  }
 
   /// stdio mode: serve exactly one connection over `in`/`out` on the
   /// calling thread until EOF, then drain and stop.
@@ -454,8 +487,15 @@ class Server {
         << ", \"routed\": " << routed_ << ", \"errors\": " << errors_
         << ", \"cache\": {\"entries\": " << c.entries
         << ", \"bytes\": " << c.bytes << ", \"budget\": " << opts_.cache_bytes
-        << ", \"hits\": " << c.hits << ", \"misses\": " << c.misses
-        << ", \"evictions\": " << c.evictions << "}}";
+        << ", \"hits\": " << c.hits() << ", \"mem_hits\": " << c.mem_hits
+        << ", \"disk_hits\": " << c.disk_hits << ", \"misses\": " << c.misses
+        << ", \"evictions\": " << c.evictions
+        << ", \"disk\": {\"enabled\": " << (store_ ? "true" : "false")
+        << ", \"entries\": " << c.disk_entries
+        << ", \"bytes\": " << c.disk_bytes
+        << ", \"file_bytes\": " << c.disk_file_bytes
+        << ", \"budget\": " << (store_ ? opts_.cache_disk_bytes : 0)
+        << ", \"evictions\": " << c.disk_evictions << "}}}";
     return out.str();
   }
 
@@ -577,7 +617,20 @@ class Server {
     return it->second;
   }
 
+  /// Serializes store warnings onto the err stream (workers may warn
+  /// concurrently — a corrupt record noticed on read, a compaction note).
+  void log_warning(const std::string& msg) CODAR_EXCLUDES(err_mutex_) {
+    const common::MutexLock lock(err_mutex_);
+    std::ostream& out = err_ != nullptr ? *err_ : std::cerr;
+    out << "warning: " << msg << "\n";
+  }
+
   const ServeOptions& opts_;
+  std::ostream* err_;
+  common::Mutex err_mutex_;
+  /// Optional persistent tier; declared before cache_ so the cache (which
+  /// borrows the pointer) is destroyed first.
+  std::unique_ptr<store::LogStore> store_;
   RouteCache cache_;
 
   /// Set once by shutdown(); readers poll it between read slices.
@@ -745,6 +798,15 @@ ServeOptions parse_serve_args(const std::vector<std::string>& args) {
         throw cli::UsageError("--cache-shards must be in [1, 4096]");
       }
       opts.cache_shards = static_cast<int>(shards);
+    } else if (arg == "--cache-dir") {
+      opts.cache_dir = value();
+      if (opts.cache_dir.empty()) {
+        throw cli::UsageError("--cache-dir expects a directory path");
+      }
+    } else if (arg == "--cache-disk-bytes") {
+      opts.cache_disk_bytes = parse_size(arg, value());
+    } else if (arg == "--warm-start") {
+      opts.warm_start = parse_size(arg, value());
     } else if (arg == "--listen") {
       opts.listen = value();
       try {
@@ -822,8 +884,17 @@ service options:
                         oversized-frame cap per request line (default
                         8388608)
       --cache-bytes N   route-cache byte budget (default 268435456; 0
-                        disables caching)
+                        disables caching, including the disk tier)
       --cache-shards N  number of independently locked shards (default 8)
+      --cache-dir PATH  persistent route-cache directory (crash-safe
+                        append-only log; created if absent). A restarted
+                        server serves its history as disk hits instead of
+                        re-routing. Default: memory-only cache.
+      --cache-disk-bytes N
+                        disk-tier live-byte budget (default 1073741824;
+                        0 = unbounded); oldest entries evicted past it
+      --warm-start N    preload the N most recent disk entries into the
+                        memory tier at boot (default 0)
       --threads, -j N   worker threads (0 = hardware concurrency)
       --distance-oracle MODE
                         process-wide distance backend (auto | dense |
@@ -865,8 +936,15 @@ int run_serve(const ServeOptions& opts, std::istream& in, std::ostream& out,
   if (spec.kind != ListenSpec::Kind::kStdio) {
     return run_serve_socket(opts, err);
   }
-  Server server(opts);
-  server.run_stream(in, out);
+  try {
+    // Construction opens --cache-dir (recovery scan + lock); an unusable
+    // or already-locked directory is a startup error, like a bad device.
+    Server server(opts, &err);
+    server.run_stream(in, out);
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 2;
+  }
   return 0;
 }
 

@@ -1,0 +1,32 @@
+#pragma once
+
+// Binary serialization of pipeline::RouteReport for the persistent route
+// cache. The codec must round-trip *exactly* — the serve acceptance test
+// compares warm-start responses byte-for-byte against the cold run, and
+// the JSON rendering reads every field — so everything is fixed-width
+// little-endian: integers as u64, doubles as their IEEE-754 bit pattern,
+// strings length-prefixed. A leading format-version word lets a future
+// field addition invalidate old records cleanly (decode fails, the entry
+// re-routes and is re-appended in the new format) instead of misreading
+// them.
+
+#include <string>
+#include <string_view>
+
+#include "codar/pipeline/pipeline.hpp"
+
+namespace codar::store {
+
+/// Current encoding version. Bump on any RouteReport field change; old
+/// records then decode as "unreadable" and simply re-route.
+inline constexpr std::uint32_t kReportCodecVersion = 1;
+
+/// Serializes `report` (all fields, including routed_qasm and stage_us).
+std::string encode_report(const pipeline::RouteReport& report);
+
+/// Decodes into `*report`. Returns false (leaving `*report` unspecified)
+/// on a version mismatch, truncation, or trailing garbage — never throws
+/// on malformed input.
+bool decode_report(std::string_view bytes, pipeline::RouteReport* report);
+
+}  // namespace codar::store

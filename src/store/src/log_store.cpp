@@ -1,0 +1,488 @@
+#include "codar/store/log_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "codar/common/crc32c.hpp"
+#include "codar/common/expects.hpp"
+#include "codar/common/fnv.hpp"
+
+namespace codar::store {
+
+namespace {
+
+/// Per-segment magic: format name + version byte. A future record-format
+/// change bumps the trailing digit, and old stores recover as "foreign
+/// magic" (dropped with a warning) instead of being misparsed.
+constexpr char kMagic[8] = {'C', 'O', 'D', 'A', 'R', 'S', 'G', '1'};
+constexpr std::size_t kMagicBytes = sizeof kMagic;
+constexpr std::size_t kHeaderBytes = 8;   ///< u32 len + u32 crc.
+constexpr std::size_t kKeyBytes = 24;     ///< 3 × u64.
+constexpr char kSegmentPrefix[] = "codar-";
+constexpr char kSegmentSuffix[] = ".seg";
+/// Sanity cap applied before trusting a length field from disk.
+constexpr std::uint32_t kMaxPayloadBytes = 1u << 30;
+
+std::size_t record_bytes(std::size_t payload_len) {
+  return kHeaderBytes + kKeyBytes + payload_len;
+}
+
+std::string segment_name(std::uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%s%012llu%s", kSegmentPrefix,
+                static_cast<unsigned long long>(seq), kSegmentSuffix);
+  return buf;
+}
+
+/// Sequence number of a `codar-NNNNNNNNNNNN.seg` name, or nullopt.
+std::optional<std::uint64_t> parse_segment_name(const std::string& name) {
+  const std::size_t prefix = sizeof kSegmentPrefix - 1;
+  const std::size_t suffix = sizeof kSegmentSuffix - 1;
+  if (name.size() != prefix + 12 + suffix) return std::nullopt;
+  if (name.compare(name.size() - suffix, suffix, kSegmentSuffix) != 0) {
+    return std::nullopt;
+  }
+  std::uint64_t seq = 0;
+  for (std::size_t i = prefix; i < prefix + 12; ++i) {
+    if (name[i] < '0' || name[i] > '9') return std::nullopt;
+    seq = seq * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  return seq;
+}
+
+void put_u32(char* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+std::uint32_t get_u32(const char* in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(in[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+void put_u64(char* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+std::uint64_t get_u64(const char* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(in[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+void encode_key(char* out, const Fingerprint& fp) {
+  put_u64(out, fp.circuit);
+  put_u64(out + 8, fp.device);
+  put_u64(out + 16, fp.options);
+}
+
+Fingerprint decode_key(const char* in) {
+  return Fingerprint{get_u64(in), get_u64(in + 8), get_u64(in + 16)};
+}
+
+}  // namespace
+
+std::size_t FingerprintHash::operator()(const Fingerprint& fp) const {
+  common::Fnv1a h;
+  h.u64(fp.circuit);
+  h.u64(fp.device);
+  h.u64(fp.options);
+  return static_cast<std::size_t>(h.value());
+}
+
+std::unique_ptr<LogStore> LogStore::open(const std::string& dir,
+                                         LogStoreOptions options) {
+  return std::unique_ptr<LogStore>(new LogStore(dir, std::move(options)));
+}
+
+LogStore::LogStore(std::string dir, LogStoreOptions options)
+    : dir_(std::move(dir)), options_(std::move(options)) {
+  common::ensure_directory(dir_);
+  lock_ = std::make_unique<common::DirLock>(dir_, "LOCK");
+  const common::MutexLock lock(m_);
+  recover();
+}
+
+LogStore::~LogStore() {
+  const common::MutexLock lock(m_);
+  if (active_ != nullptr) active_->sync();
+}
+
+void LogStore::warn(const std::string& message) const {
+  if (options_.log) options_.log(message);
+}
+
+void LogStore::recover() {
+  // Collect (seq, name) pairs; lexicographic name order == numeric seq
+  // order thanks to the zero padding, but sort by parsed seq anyway so a
+  // hand-renamed file cannot reorder recovery.
+  std::vector<std::pair<std::uint64_t, std::string>> found;
+  for (const std::string& name :
+       common::list_files_with_prefix(dir_, kSegmentPrefix)) {
+    if (const std::optional<std::uint64_t> seq = parse_segment_name(name)) {
+      found.emplace_back(*seq, name);
+    }
+  }
+  std::sort(found.begin(), found.end());
+
+  std::uint64_t max_seq = 0;
+  for (const auto& [seq, name] : found) {
+    max_seq = std::max(max_seq, seq);
+    recover_segment(seq, dir_ + "/" + name);
+  }
+
+  // Keep appending to the newest surviving segment while it has room;
+  // otherwise (or with no segments at all) start a fresh one.
+  const auto newest = segments_.find(max_seq);
+  if (newest != segments_.end() &&
+      newest->second.bytes < options_.max_segment_bytes) {
+    open_active_segment(max_seq);
+  } else {
+    open_active_segment(max_seq + 1);
+  }
+  enforce_budget();
+  maybe_compact();
+}
+
+bool LogStore::recover_segment(std::uint64_t seq, const std::string& path) {
+  const std::uint64_t size = common::file_size(path);
+  if (size == 0) {
+    // A crash between creat() and the first append leaves this behind.
+    warn("dropping empty segment file " + path);
+    common::remove_file(path);
+    ++counters_.corrupt_dropped;
+    return false;
+  }
+
+  std::unique_ptr<common::RandomReadFile> file;
+  try {
+    file = std::make_unique<common::RandomReadFile>(path);
+  } catch (const std::exception& e) {
+    warn(std::string("skipping unreadable segment: ") + e.what());
+    ++counters_.corrupt_dropped;
+    return false;
+  }
+
+  char magic[kMagicBytes];
+  if (size < kMagicBytes || !file->read_at(0, kMagicBytes, magic) ||
+      std::memcmp(magic, kMagic, kMagicBytes) != 0) {
+    warn("dropping segment with bad magic " + path);
+    file.reset();
+    common::remove_file(path);
+    ++counters_.corrupt_dropped;
+    return false;
+  }
+
+  std::uint64_t offset = kMagicBytes;
+  std::string body;
+  while (offset < size) {
+    char header[kHeaderBytes];
+    bool good = false;
+    std::uint32_t payload_len = 0;
+    if (size - offset >= kHeaderBytes &&
+        file->read_at(offset, kHeaderBytes, header)) {
+      payload_len = get_u32(header);
+      const std::uint32_t want_crc = get_u32(header + 4);
+      if (payload_len <= kMaxPayloadBytes &&
+          size - offset - kHeaderBytes >= kKeyBytes + payload_len) {
+        body.resize(kKeyBytes + payload_len);
+        if (file->read_at(offset + kHeaderBytes, body.size(),
+                          body.data()) &&
+            common::crc32c(body) == want_crc) {
+          good = true;
+        }
+      }
+    }
+    if (!good) {
+      // Torn or corrupted record: everything after it is unreachable
+      // (lengths chain), so truncate here and keep the prefix.
+      warn("truncating " + path + " at byte " + std::to_string(offset) +
+           " (torn or corrupt record; " +
+           std::to_string(size - offset) + " bytes dropped)");
+      file.reset();
+      common::truncate_file(path, offset);
+      ++counters_.corrupt_dropped;
+      try {
+        file = std::make_unique<common::RandomReadFile>(path);
+      } catch (const std::exception&) {
+        file = nullptr;
+      }
+      break;
+    }
+    index_record(decode_key(body.data()), seq, offset, payload_len);
+    ++counters_.recovered;
+    offset += record_bytes(payload_len);
+  }
+
+  if (offset <= kMagicBytes) {
+    // Nothing usable beyond the magic; drop the file entirely.
+    file.reset();
+    common::remove_file(path);
+    // Any records indexed from it? None (offset never advanced).
+    return false;
+  }
+  Segment segment;
+  segment.path = path;
+  segment.bytes = offset;
+  segment.reader = std::move(file);
+  file_bytes_ += offset;
+  segments_.emplace(seq, std::move(segment));
+  return true;
+}
+
+void LogStore::open_active_segment(std::uint64_t seq) {
+  const std::string path = dir_ + "/" + segment_name(seq);
+  auto it = segments_.find(seq);
+  if (it == segments_.end()) {
+    it = segments_.emplace(seq, Segment{path, 0, nullptr}).first;
+  }
+  active_ = std::make_unique<common::AppendFile>(path);
+  active_seq_ = seq;
+  if (it->second.bytes == 0) {
+    if (!active_->append(kMagic, kMagicBytes)) {
+      warn("cannot write segment header to " + path);
+    } else {
+      it->second.bytes = kMagicBytes;
+      file_bytes_ += kMagicBytes;
+    }
+  }
+}
+
+bool LogStore::append_record(const Fingerprint& fp,
+                             std::string_view payload) {
+  if (segments_.at(active_seq_).bytes >= options_.max_segment_bytes) {
+    if (active_ != nullptr) active_->sync();
+    open_active_segment(active_seq_ + 1);
+  }
+  const std::uint64_t offset = segments_.at(active_seq_).bytes;
+
+  std::string record;
+  record.resize(record_bytes(payload.size()));
+  encode_key(record.data() + kHeaderBytes, fp);
+  std::memcpy(record.data() + kHeaderBytes + kKeyBytes, payload.data(),
+              payload.size());
+  put_u32(record.data(),
+          static_cast<std::uint32_t>(payload.size()));
+  put_u32(record.data() + 4,
+          common::crc32c(record.data() + kHeaderBytes,
+                         kKeyBytes + payload.size()));
+  if (!active_->append(record.data(), record.size())) {
+    warn("append to " + active_->path() + " failed; entry not persisted");
+    return false;
+  }
+  if (options_.sync_every_append) active_->sync();
+  segments_.at(active_seq_).bytes += record.size();
+  file_bytes_ += record.size();
+  index_record(fp, active_seq_, offset,
+               static_cast<std::uint32_t>(payload.size()));
+  return true;
+}
+
+void LogStore::index_record(const Fingerprint& fp, std::uint64_t segment,
+                            std::uint64_t offset,
+                            std::uint32_t payload_len) {
+  const auto it = index_.find(fp);
+  if (it != index_.end()) {
+    // Superseded: the old record's bytes become dead weight.
+    live_bytes_ -= record_bytes(it->second.payload_len);
+    order_.erase(it->second.order);
+    index_.erase(it);
+  }
+  order_.push_back(fp);
+  Location loc;
+  loc.segment = segment;
+  loc.offset = offset;
+  loc.payload_len = payload_len;
+  loc.order = std::prev(order_.end());
+  index_.emplace(fp, loc);
+  live_bytes_ += record_bytes(payload_len);
+}
+
+void LogStore::drop_entry(const Fingerprint& fp) {
+  const auto it = index_.find(fp);
+  if (it == index_.end()) return;
+  live_bytes_ -= record_bytes(it->second.payload_len);
+  order_.erase(it->second.order);
+  index_.erase(it);
+}
+
+void LogStore::enforce_budget() {
+  if (options_.max_total_bytes == 0) return;
+  while (live_bytes_ > options_.max_total_bytes && !order_.empty()) {
+    drop_entry(order_.front());  // oldest-appended first
+    ++counters_.evictions;
+  }
+}
+
+void LogStore::maybe_compact() {
+  if (file_bytes_ <= live_bytes_) return;
+  const std::size_t dead = file_bytes_ - live_bytes_;
+  // Compact once the dead fraction crosses the threshold — but only when
+  // there is at least a segment's worth of data on disk, so a tiny store
+  // does not churn through rewrites.
+  if (file_bytes_ < options_.max_segment_bytes) return;
+  if (static_cast<double>(dead) <
+      options_.compact_waste_ratio * static_cast<double>(file_bytes_)) {
+    return;
+  }
+  compact_locked();
+}
+
+std::size_t LogStore::compact() {
+  const common::MutexLock lock(m_);
+  return compact_locked();
+}
+
+std::size_t LogStore::compact_locked() {
+  const std::size_t before = file_bytes_;
+
+  // Snapshot the live entries (locations only — payloads stream through
+  // one at a time below) in append order, then rebuild from scratch into
+  // fresh segments numbered after every existing one.
+  std::vector<std::pair<Fingerprint, Location>> live;
+  live.reserve(index_.size());
+  for (const Fingerprint& fp : order_) {
+    live.emplace_back(fp, index_.at(fp));
+  }
+
+  std::vector<std::pair<std::uint64_t, std::string>> old_files;
+  for (const auto& [seq, segment] : segments_) {
+    old_files.emplace_back(seq, segment.path);
+  }
+
+  index_.clear();
+  order_.clear();
+  live_bytes_ = 0;
+  if (active_ != nullptr) active_->sync();
+  active_.reset();
+
+  std::uint64_t next_seq = 1;
+  for (const auto& [seq, path] : old_files) {
+    next_seq = std::max(next_seq, seq + 1);
+  }
+
+  // Old segments stay readable (their Segment entries and readers live in
+  // segments_ until the loop below erases them) while records stream into
+  // the new active segment.
+  open_active_segment(next_seq);
+  std::string payload;
+  for (const auto& [fp, loc] : live) {
+    if (!read_payload(loc, &payload)) {
+      warn("compaction: skipping unreadable record");
+      continue;
+    }
+    append_record(fp, payload);
+  }
+  if (active_ != nullptr) active_->sync();
+
+  for (const auto& [seq, path] : old_files) {
+    const auto it = segments_.find(seq);
+    if (it == segments_.end()) continue;
+    file_bytes_ -= it->second.bytes;
+    segments_.erase(it);
+    common::remove_file(path);
+  }
+  ++counters_.compactions;
+  return before > file_bytes_ ? before - file_bytes_ : 0;
+}
+
+common::RandomReadFile* LogStore::reader_for(std::uint64_t segment) const {
+  const auto it = segments_.find(segment);
+  if (it == segments_.end()) return nullptr;
+  if (it->second.reader == nullptr) {
+    try {
+      it->second.reader =
+          std::make_unique<common::RandomReadFile>(it->second.path);
+    } catch (const std::exception& e) {
+      warn(std::string("cannot reopen segment: ") + e.what());
+      return nullptr;
+    }
+  }
+  return it->second.reader.get();
+}
+
+bool LogStore::read_payload(const Location& loc, std::string* payload) const {
+  common::RandomReadFile* file = reader_for(loc.segment);
+  if (file == nullptr) return false;
+  // Re-read header + key + payload and re-verify the CRC: bit rot between
+  // open() and now must surface as a miss (re-route), not a wrong answer.
+  std::string record;
+  record.resize(record_bytes(loc.payload_len));
+  if (!file->read_at(loc.offset, record.size(), record.data())) {
+    return false;
+  }
+  if (get_u32(record.data()) != loc.payload_len) return false;
+  if (common::crc32c(record.data() + kHeaderBytes,
+                     record.size() - kHeaderBytes) !=
+      get_u32(record.data() + 4)) {
+    warn("CRC mismatch reading record (bit rot?); treating as miss");
+    return false;
+  }
+  payload->assign(record, kHeaderBytes + kKeyBytes,
+                  record.size() - kHeaderBytes - kKeyBytes);
+  return true;
+}
+
+bool LogStore::get(const Fingerprint& fp, std::string* payload) const {
+  const common::MutexLock lock(m_);
+  const auto it = index_.find(fp);
+  if (it == index_.end()) return false;
+  return read_payload(it->second, payload);
+}
+
+bool LogStore::put(const Fingerprint& fp, std::string_view payload) {
+  const common::MutexLock lock(m_);
+  if (options_.max_total_bytes != 0 &&
+      record_bytes(payload.size()) > options_.max_total_bytes) {
+    // Admitting it would immediately flush the whole store.
+    ++counters_.evictions;
+    return true;
+  }
+  if (!append_record(fp, payload)) return false;
+  ++counters_.appends;
+  enforce_budget();
+  maybe_compact();
+  return true;
+}
+
+std::vector<std::pair<Fingerprint, std::string>> LogStore::recent_entries(
+    std::size_t n) const {
+  const common::MutexLock lock(m_);
+  std::vector<std::pair<Fingerprint, std::string>> entries;
+  entries.reserve(std::min(n, order_.size()));
+  // The newest n entries, emitted oldest-first: replaying them through an
+  // LRU leaves the hottest (most recently appended) most recently used.
+  auto it = order_.end();
+  std::advance(it, -static_cast<std::ptrdiff_t>(std::min(n, order_.size())));
+  for (; it != order_.end(); ++it) {
+    std::string payload;
+    if (read_payload(index_.at(*it), &payload)) {
+      entries.emplace_back(*it, std::move(payload));
+    }
+  }
+  return entries;
+}
+
+StoreStats LogStore::stats() const {
+  const common::MutexLock lock(m_);
+  StoreStats s = counters_;
+  s.entries = index_.size();
+  s.live_bytes = live_bytes_;
+  s.file_bytes = file_bytes_;
+  s.segments = segments_.size();
+  return s;
+}
+
+}  // namespace codar::store

@@ -1,0 +1,157 @@
+// POSIX file-I/O helper tests: append/pread round-trips, exact-read
+// semantics at EOF, the flock-based directory lock, and the small
+// filesystem utilities the store's recovery path leans on.
+
+#include "codar/common/file_io.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace codar::common {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FileIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(testing::TempDir()) /
+           ("codar_file_io_" +
+            std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string path(const std::string& name) { return (dir_ / name).string(); }
+
+  fs::path dir_;
+};
+
+TEST_F(FileIoTest, AppendThenReadBack) {
+  const std::string file = path("log");
+  {
+    AppendFile out(file);
+    EXPECT_EQ(out.size(), 0u);
+    EXPECT_TRUE(out.append("hello ", 6));
+    EXPECT_TRUE(out.append("world", 5));
+    EXPECT_EQ(out.size(), 11u);
+    EXPECT_TRUE(out.sync());
+  }
+  RandomReadFile in(file);
+  EXPECT_EQ(in.size(), 11u);
+  char buf[11];
+  ASSERT_TRUE(in.read_at(0, sizeof buf, buf));
+  EXPECT_EQ(std::string(buf, sizeof buf), "hello world");
+  // Positional reads: any offset, no seek state between calls.
+  char mid[5];
+  ASSERT_TRUE(in.read_at(6, sizeof mid, mid));
+  EXPECT_EQ(std::string(mid, sizeof mid), "world");
+  ASSERT_TRUE(in.read_at(0, 5, mid));
+  EXPECT_EQ(std::string(mid, 5), "hello");
+}
+
+TEST_F(FileIoTest, AppendFileReopensInAppendMode) {
+  const std::string file = path("log");
+  { AppendFile(file).append("aaa", 3); }
+  {
+    AppendFile out(file);  // must not truncate
+    EXPECT_EQ(out.size(), 3u);
+    out.append("bbb", 3);
+  }
+  RandomReadFile in(file);
+  char buf[6];
+  ASSERT_TRUE(in.read_at(0, sizeof buf, buf));
+  EXPECT_EQ(std::string(buf, sizeof buf), "aaabbb");
+}
+
+TEST_F(FileIoTest, ReadPastEofIsAShortReadNotGarbage) {
+  const std::string file = path("log");
+  { AppendFile(file).append("abc", 3); }
+  RandomReadFile in(file);
+  char buf[8] = {};
+  EXPECT_FALSE(in.read_at(0, 4, buf));   // spans EOF
+  EXPECT_FALSE(in.read_at(3, 1, buf));   // starts at EOF
+  EXPECT_FALSE(in.read_at(100, 1, buf)); // starts past EOF
+  EXPECT_TRUE(in.read_at(2, 1, buf));    // last byte is fine
+  EXPECT_EQ(buf[0], 'c');
+}
+
+TEST_F(FileIoTest, ConcurrentAppendAndPreadOnSamePath) {
+  // The store reads segments it is still appending to; a reader opened
+  // before further appends must see them (no stale user-space buffering).
+  const std::string file = path("log");
+  AppendFile out(file);
+  out.append("first", 5);
+  RandomReadFile in(file);
+  out.append("second", 6);
+  char buf[11];
+  ASSERT_TRUE(in.read_at(0, sizeof buf, buf));
+  EXPECT_EQ(std::string(buf, sizeof buf), "firstsecond");
+}
+
+TEST_F(FileIoTest, MissingFileThrows) {
+  EXPECT_THROW(RandomReadFile(path("absent")), std::runtime_error);
+  EXPECT_THROW(AppendFile(path("no_such_dir/file")), std::runtime_error);
+}
+
+TEST_F(FileIoTest, DirLockIsExclusivePerDirectory) {
+  auto first = std::make_unique<DirLock>(dir_.string(), "LOCK");
+  EXPECT_THROW(DirLock(dir_.string(), "LOCK"), std::runtime_error);
+  // A different directory is independent.
+  fs::create_directories(dir_ / "other");
+  EXPECT_NO_THROW(DirLock((dir_ / "other").string(), "LOCK"));
+  // Destroying the holder releases the lock.
+  first.reset();
+  EXPECT_NO_THROW(DirLock(dir_.string(), "LOCK"));
+}
+
+TEST_F(FileIoTest, EnsureDirectoryCreatesParentsAndIsIdempotent) {
+  const std::string nested = (dir_ / "a" / "b" / "c").string();
+  ensure_directory(nested);
+  EXPECT_TRUE(fs::is_directory(nested));
+  ensure_directory(nested);  // second call is a no-op
+  // A file squatting on the path is an error, not silent success.
+  const std::string file = path("plain");
+  std::ofstream(file) << "x";
+  EXPECT_THROW(ensure_directory(file), std::runtime_error);
+}
+
+TEST_F(FileIoTest, ListFilesWithPrefixFiltersAndSorts) {
+  std::ofstream(path("codar-000000000002.seg")) << "b";
+  std::ofstream(path("codar-000000000001.seg")) << "a";
+  std::ofstream(path("codar-000000000010.seg")) << "c";
+  std::ofstream(path("unrelated.txt")) << "d";
+  fs::create_directories(dir_ / "codar-subdir");  // directories excluded
+
+  const std::vector<std::string> files =
+      list_files_with_prefix(dir_.string(), "codar-");
+  ASSERT_EQ(files.size(), 3u);
+  // Zero-padded names sort lexicographically == numerically.
+  EXPECT_EQ(files[0], "codar-000000000001.seg");
+  EXPECT_EQ(files[1], "codar-000000000002.seg");
+  EXPECT_EQ(files[2], "codar-000000000010.seg");
+
+  EXPECT_TRUE(list_files_with_prefix(path("missing_dir"), "x").empty());
+}
+
+TEST_F(FileIoTest, TruncateRemoveAndSize) {
+  const std::string file = path("log");
+  { AppendFile(file).append("0123456789", 10); }
+  EXPECT_EQ(file_size(file), 10u);
+  EXPECT_TRUE(truncate_file(file, 4));
+  EXPECT_EQ(file_size(file), 4u);
+  EXPECT_TRUE(remove_file(file));
+  EXPECT_EQ(file_size(file), 0u);
+  EXPECT_FALSE(remove_file(file));  // already gone
+}
+
+}  // namespace
+}  // namespace codar::common

@@ -100,7 +100,7 @@ TEST(RaceStress, RouteCacheSingleFlightStormRoutesEachKeyOnce) {
   EXPECT_EQ(routes.load(), kKeys);
   const service::CacheCounters counters = cache.counters();
   EXPECT_EQ(counters.misses, kKeys);
-  EXPECT_EQ(counters.hits + counters.misses,
+  EXPECT_EQ(counters.hits() + counters.misses,
             static_cast<std::size_t>(kThreads) * kIterations);
   EXPECT_EQ(counters.entries, kKeys);
   EXPECT_EQ(counters.evictions, 0u);
@@ -128,7 +128,7 @@ TEST(RaceStress, RouteCacheStaysConsistentUnderEvictionChurn) {
   });
 
   const service::CacheCounters counters = cache.counters();
-  EXPECT_EQ(counters.hits + counters.misses,
+  EXPECT_EQ(counters.hits() + counters.misses,
             static_cast<std::size_t>(kThreads) * kIterations);
   EXPECT_GT(counters.evictions, 0u);
   EXPECT_LE(counters.bytes, cache.byte_budget());

@@ -1,10 +1,12 @@
 // RouteCache unit tests: content-addressed keying, LRU eviction under a
-// byte budget, single-flight coalescing, and counter correctness under
-// concurrent hammering.
+// byte budget, single-flight coalescing, counter correctness under
+// concurrent hammering, and the persistent disk tier (store::LogStore
+// behind the memory LRU).
 
 #include "codar/service/route_cache.hpp"
 
 #include <atomic>
+#include <filesystem>
 #include <thread>
 #include <vector>
 
@@ -12,6 +14,7 @@
 
 #include "codar/arch/device.hpp"
 #include "codar/service/protocol.hpp"
+#include "codar/store/report_codec.hpp"
 
 namespace codar::service {
 namespace {
@@ -50,7 +53,9 @@ TEST(RouteCache, MissRoutesThenHitsWithoutRouting) {
   EXPECT_EQ(r.swaps, 7u);
 
   const CacheCounters c = cache.counters();
-  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.mem_hits, 1u);
+  EXPECT_EQ(c.disk_hits, 0u);  // no store attached
   EXPECT_EQ(c.misses, 1u);
   EXPECT_EQ(c.entries, 1u);
   EXPECT_EQ(cache.entry_hits(key), 1u);
@@ -197,7 +202,7 @@ TEST(RouteCache, ZeroBudgetDisablesMemoization) {
   EXPECT_EQ(routes, 3);
   const CacheCounters c = cache.counters();
   EXPECT_EQ(c.misses, 3u);
-  EXPECT_EQ(c.hits, 0u);
+  EXPECT_EQ(c.hits(), 0u);
   EXPECT_EQ(c.entries, 0u);
 }
 
@@ -233,9 +238,145 @@ TEST(RouteCache, ConcurrentHitMissCountingIsExact) {
   EXPECT_EQ(routes.load(), static_cast<int>(kKeys));
   const CacheCounters c = cache.counters();
   EXPECT_EQ(c.misses, kKeys);
-  EXPECT_EQ(c.hits + c.misses,
+  EXPECT_EQ(c.hits() + c.misses,
             static_cast<std::size_t>(kThreads) * kIters);
   EXPECT_EQ(c.entries, kKeys);
+}
+
+// --- Disk tier ------------------------------------------------------------
+
+class TieredRouteCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::path(testing::TempDir()) /
+           ("codar_tiered_cache_" +
+            std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::unique_ptr<store::LogStore> open_store() {
+    return store::LogStore::open(dir_.string(), {});
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(TieredRouteCacheTest, DiskTierServesAcrossCacheInstances) {
+  const CacheKey key = key_of(11, 22, 33);
+  {
+    auto log = open_store();
+    RouteCache cache(1 << 20, /*num_shards=*/1);
+    cache.attach_store(log.get());
+    bool hit = true;
+    cache.get_or_route(key, [] { return report_named("cold", 9); }, &hit);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(cache.counters().disk_entries, 1u);
+  }
+  // A fresh cache over the same directory — the restarted-server shape.
+  auto log = open_store();
+  RouteCache cache(1 << 20, /*num_shards=*/1);
+  cache.attach_store(log.get());
+  int routes = 0;
+  bool hit = false;
+  cli::RouteReport r = cache.get_or_route(
+      key,
+      [&] {
+        ++routes;
+        return report_named("never", 0);
+      },
+      &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(routes, 0);  // served from disk, not re-routed
+  EXPECT_EQ(r.swaps, 9u);
+  EXPECT_EQ(r.name, "cold");
+
+  // The disk hit promoted the entry; the next lookup is a memory hit.
+  cache.get_or_route(key, [&] { return report_named("never", 0); }, &hit);
+  EXPECT_TRUE(hit);
+  const CacheCounters c = cache.counters();
+  EXPECT_EQ(c.disk_hits, 1u);
+  EXPECT_EQ(c.mem_hits, 1u);
+  EXPECT_EQ(c.misses, 0u);
+}
+
+TEST_F(TieredRouteCacheTest, ErrorReportsAreNotPersisted) {
+  const CacheKey key = key_of(1, 2, 3);
+  {
+    auto log = open_store();
+    RouteCache cache(1 << 20, /*num_shards=*/1);
+    cache.attach_store(log.get());
+    const cli::RouteReport r = cache.get_or_route(
+        key, []() -> cli::RouteReport { throw std::runtime_error("boom"); });
+    EXPECT_EQ(r.error, "boom");
+    EXPECT_EQ(cache.counters().disk_entries, 0u);
+  }
+  // A later, fixed route for the same key must actually route (the error
+  // never made it to disk) and then persist the good report.
+  auto log = open_store();
+  RouteCache cache(1 << 20, /*num_shards=*/1);
+  cache.attach_store(log.get());
+  bool hit = true;
+  const cli::RouteReport r =
+      cache.get_or_route(key, [] { return report_named("fixed", 4); }, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_TRUE(r.error.empty());
+  EXPECT_EQ(cache.counters().disk_entries, 1u);
+}
+
+TEST_F(TieredRouteCacheTest, PreloadServesFromMemoryWithoutCounters) {
+  const CacheKey key = key_of(7, 8, 9);
+  {
+    auto log = open_store();
+    RouteCache cache(1 << 20, /*num_shards=*/1);
+    cache.attach_store(log.get());
+    cache.get_or_route(key, [] { return report_named("warm", 5); });
+  }
+  auto log = open_store();
+  RouteCache cache(1 << 20, /*num_shards=*/1);
+  cache.attach_store(log.get());
+  // Warm-start: decode the persisted entries and preload them.
+  for (const auto& [fp, payload] : log->recent_entries(16)) {
+    cli::RouteReport report;
+    ASSERT_TRUE(store::decode_report(payload, &report));
+    cache.preload(CacheKey{fp.circuit, fp.device, fp.options}, report);
+  }
+  CacheCounters c = cache.counters();
+  EXPECT_EQ(c.entries, 1u);
+  EXPECT_EQ(c.mem_hits, 0u);  // preloading itself counts nothing
+
+  bool hit = false;
+  const cli::RouteReport r = cache.get_or_route(
+      key, [] { return report_named("never", 0); }, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(r.swaps, 5u);
+  c = cache.counters();
+  EXPECT_EQ(c.mem_hits, 1u);  // served by the memory tier, not disk
+  EXPECT_EQ(c.disk_hits, 0u);
+}
+
+TEST_F(TieredRouteCacheTest, ZeroBudgetBypassesDiskTier) {
+  auto log = open_store();
+  RouteCache cache(0, /*num_shards=*/1);
+  cache.attach_store(log.get());
+  int routes = 0;
+  for (int i = 0; i < 2; ++i) {
+    bool hit = true;
+    cache.get_or_route(
+        key_of(1, 1, 1),
+        [&] {
+          ++routes;
+          return report_named("x", 1);
+        },
+        &hit);
+    EXPECT_FALSE(hit);
+  }
+  EXPECT_EQ(routes, 2);
+  EXPECT_EQ(log->stats().entries, 0u);  // nothing persisted either
 }
 
 }  // namespace
